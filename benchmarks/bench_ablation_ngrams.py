@@ -1,0 +1,48 @@
+"""Ablation (Section V-F1) — number of tokens allowed per term (n-grams).
+
+The paper reports that allowing multi-token terms (up to three tokens)
+improves mean average precision in all scenarios, with diminishing returns
+beyond three.
+"""
+
+from __future__ import annotations
+
+from repro.eval.report import format_table
+
+from benchmarks.bench_utils import run_wrw, write_result
+
+SCENARIOS = ["imdb_wt", "politifact"]
+NGRAM_SIZES = [1, 2, 3]
+
+
+def _build_series():
+    rows = []
+    for scenario_name in SCENARIOS:
+        for n in NGRAM_SIZES:
+            run = run_wrw(scenario_name, max_ngram=n)
+            rows.append(
+                {
+                    "scenario": scenario_name,
+                    "max_ngram": n,
+                    "graph_nodes": run.graph.num_nodes(),
+                    "MAP@5": round(run.report.map_at[5], 3),
+                }
+            )
+    return rows
+
+
+def test_ablation_ngrams(benchmark):
+    rows = benchmark.pedantic(_build_series, rounds=1, iterations=1)
+    table = format_table(rows, title="Ablation: tokens per term (n-gram size) vs MAP@5")
+    print("\n" + table)
+    write_result("ablation_ngrams", table)
+
+    by_key = {(r["scenario"], r["max_ngram"]): r for r in rows}
+    for scenario_name in SCENARIOS:
+        # More tokens per term always enlarge the graph ...
+        assert (
+            by_key[(scenario_name, 3)]["graph_nodes"]
+            >= by_key[(scenario_name, 1)]["graph_nodes"]
+        )
+        # ... and never hurt quality substantially.
+        assert by_key[(scenario_name, 3)]["MAP@5"] >= by_key[(scenario_name, 1)]["MAP@5"] - 0.1

@@ -1,0 +1,65 @@
+"""Figure 8 — execution time with increasing number of graph nodes.
+
+The paper generates STS-derived graphs of increasing size and reports the
+total time to generate random walks and train the word embeddings, showing
+roughly linear growth.  The harness sweeps three scenario scales and times
+the same two stages.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.config import TDMatchConfig
+from repro.core.pipeline import TDMatch
+from repro.datasets import ScenarioSize, generate_sts_scenario
+from repro.eval.report import format_table
+
+from benchmarks.bench_utils import write_result
+
+SCALES = [
+    ("tiny", ScenarioSize(n_entities=20, n_queries=40, n_distractors=10)),
+    ("small", ScenarioSize(n_entities=40, n_queries=90, n_distractors=20)),
+    ("medium", ScenarioSize(n_entities=80, n_queries=180, n_distractors=40)),
+]
+
+
+def _measure(scale_name: str, size: ScenarioSize):
+    scenario = generate_sts_scenario(size, seed=71, threshold=0)
+    config = TDMatchConfig.for_text_tasks()
+    config.walks.num_walks = 8
+    config.walks.walk_length = 12
+    config.word2vec.vector_size = 48
+    config.word2vec.epochs = 2
+    pipeline = TDMatch(config, seed=9)
+    start = time.perf_counter()
+    pipeline.fit(scenario.first, scenario.second)
+    elapsed = time.perf_counter() - start
+    timings = pipeline.timings.as_dict()
+    return {
+        "scale": scale_name,
+        "nodes": pipeline.graph.num_nodes(),
+        "edges": pipeline.graph.num_edges(),
+        "walks_s": round(timings.get("walks", 0.0), 2),
+        "word2vec_s": round(timings.get("word2vec", 0.0), 2),
+        "total_s": round(elapsed, 2),
+    }
+
+
+def _build_series():
+    return [_measure(name, size) for name, size in SCALES]
+
+
+def test_fig8_scaling(benchmark):
+    rows = benchmark.pedantic(_build_series, rounds=1, iterations=1)
+    table = format_table(rows, title="Figure 8: execution time vs graph size (STS-derived graphs)")
+    print("\n" + table)
+    write_result("fig8_scaling", table)
+
+    # Graphs grow with the scenario scale and runtime grows with them, but
+    # sub-quadratically (the paper reports linear growth).
+    assert rows[0]["nodes"] < rows[1]["nodes"] < rows[2]["nodes"]
+    assert rows[2]["total_s"] >= rows[0]["total_s"]
+    node_ratio = rows[2]["nodes"] / max(rows[0]["nodes"], 1)
+    time_ratio = rows[2]["total_s"] / max(rows[0]["total_s"], 1e-6)
+    assert time_ratio <= node_ratio * 3.0

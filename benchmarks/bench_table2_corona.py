@@ -1,0 +1,45 @@
+"""Table II — quality of match results for the CoronaCheck scenario (Gen and Usr).
+
+Claims about COVID statistics are matched against the statistics relation.
+The Gen split contains sentences generated from the data; the Usr split
+contains noisier user-style claims (typos, rounding, comparisons).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.bench_utils import (
+    render_quality_table,
+    run_sbert,
+    run_supervised,
+    run_wrw,
+    write_result,
+)
+
+
+def _corona_rows(variant: str):
+    reports = []
+    reports.append(run_sbert(variant))
+    wrw = run_wrw(variant)
+    wrw.report.method = "w-rw"
+    reports.append(wrw.report)
+    wrw_ex = run_wrw(variant, expansion=True)
+    wrw_ex.report.method = "w-rw-ex"
+    reports.append(wrw_ex.report)
+    for method in ("rank*", "deep-m*", "ditto*", "tapas*"):
+        reports.append(run_supervised(method, variant))
+    return reports
+
+
+@pytest.mark.parametrize("variant", ["corona_gen", "corona_usr"])
+def test_table2_corona(benchmark, variant):
+    reports = benchmark.pedantic(_corona_rows, args=(variant,), rounds=1, iterations=1)
+    title = f"Table II ({'Gen' if variant.endswith('gen') else 'Usr'}): CoronaCheck text-to-data"
+    table = render_quality_table(title, reports)
+    print("\n" + table)
+    write_result(f"table2_{variant}", table)
+
+    by_method = {r.method: r for r in reports}
+    assert by_method["w-rw"].mrr >= by_method["s-be"].mrr
+    assert by_method["w-rw-ex"].has_positive_at[20] >= by_method["w-rw"].has_positive_at[20] - 0.1

@@ -1,0 +1,39 @@
+"""Table IV — quality of match results for the Politifact scenario (text to text).
+
+Short political claims are matched against a corpus of verified claims.
+Methods: S-BE, W-RW, W-RW-EX (unsupervised) and RANK* (supervised).
+"""
+
+from __future__ import annotations
+
+from benchmarks.bench_utils import (
+    render_quality_table,
+    run_sbert,
+    run_supervised,
+    run_wrw,
+    write_result,
+)
+
+
+def _politifact_rows():
+    reports = [run_sbert("politifact")]
+    wrw = run_wrw("politifact")
+    wrw.report.method = "w-rw"
+    reports.append(wrw.report)
+    wrw_ex = run_wrw("politifact", expansion=True)
+    wrw_ex.report.method = "w-rw-ex"
+    reports.append(wrw_ex.report)
+    reports.append(run_supervised("rank*", "politifact"))
+    return reports
+
+
+def test_table4_politifact(benchmark):
+    reports = benchmark.pedantic(_politifact_rows, rounds=1, iterations=1)
+    table = render_quality_table("Table IV: Politifact text-to-text", reports)
+    print("\n" + table)
+    write_result("table4_politifact", table)
+
+    by_method = {r.method: r for r in reports}
+    # Paper shape: W-RW is the best unsupervised method on this task.
+    assert by_method["w-rw"].mrr >= by_method["s-be"].mrr - 0.05
+    assert by_method["w-rw-ex"].mrr >= by_method["w-rw"].mrr - 0.1

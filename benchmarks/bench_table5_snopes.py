@@ -1,0 +1,38 @@
+"""Table V — quality of match results for the Snopes scenario (text to text).
+
+Longer, more descriptive claims are matched against verified claims.
+"""
+
+from __future__ import annotations
+
+from benchmarks.bench_utils import (
+    render_quality_table,
+    run_sbert,
+    run_supervised,
+    run_wrw,
+    write_result,
+)
+
+
+def _snopes_rows():
+    reports = [run_sbert("snopes")]
+    wrw = run_wrw("snopes")
+    wrw.report.method = "w-rw"
+    reports.append(wrw.report)
+    wrw_ex = run_wrw("snopes", expansion=True)
+    wrw_ex.report.method = "w-rw-ex"
+    reports.append(wrw_ex.report)
+    reports.append(run_supervised("rank*", "snopes"))
+    return reports
+
+
+def test_table5_snopes(benchmark):
+    reports = benchmark.pedantic(_snopes_rows, rounds=1, iterations=1)
+    table = render_quality_table("Table V: Snopes text-to-text", reports)
+    print("\n" + table)
+    write_result("table5_snopes", table)
+
+    by_method = {r.method: r for r in reports}
+    assert by_method["w-rw"].mrr >= by_method["s-be"].mrr - 0.05
+    for report in reports:
+        assert 0.0 <= report.mrr <= 1.0

@@ -1,0 +1,54 @@
+"""Table VI — quality of match results for the STS scenario (k=2 and k=3).
+
+Sentence pairs from the STS-style generator are treated as a retrieval
+task: a pair is a true match when its similarity score is at least the
+threshold k.  Higher thresholds mean more lexical overlap and therefore
+easier retrieval, which is the trend the paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.bench_utils import (
+    render_quality_table,
+    run_sbert,
+    run_supervised,
+    run_wrw,
+    write_result,
+)
+
+
+def _sts_rows(variant: str):
+    reports = [run_sbert(variant)]
+    wrw = run_wrw(variant)
+    wrw.report.method = "w-rw"
+    reports.append(wrw.report)
+    wrw_ex = run_wrw(variant, expansion=True)
+    wrw_ex.report.method = "w-rw-ex"
+    reports.append(wrw_ex.report)
+    reports.append(run_supervised("rank*", variant))
+    return reports
+
+
+@pytest.mark.parametrize("variant", ["sts_k2", "sts_k3"])
+def test_table6_sts(benchmark, variant):
+    reports = benchmark.pedantic(_sts_rows, args=(variant,), rounds=1, iterations=1)
+    table = render_quality_table(f"Table VI ({variant}): STS text-to-text", reports)
+    print("\n" + table)
+    write_result(f"table6_{variant}", table)
+
+    for report in reports:
+        assert 0.0 <= report.mrr <= 1.0
+
+
+def test_table6_threshold_trend(benchmark):
+    """Higher similarity thresholds are easier for every method (paper trend)."""
+
+    def collect():
+        k2 = {r.method: r for r in _sts_rows("sts_k2")}
+        k3 = {r.method: r for r in _sts_rows("sts_k3")}
+        return k2, k3
+
+    k2, k3 = benchmark.pedantic(collect, rounds=1, iterations=1)
+    assert k3["w-rw"].mrr >= k2["w-rw"].mrr - 0.1

@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make ``src/`` importable even without installation.
+
+The offline evaluation environment lacks the ``wheel`` package, so the
+editable install falls back to ``python setup.py develop`` (see README).
+Adding ``src`` to ``sys.path`` here lets ``pytest`` and the benchmark
+harness run from a plain checkout as well.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

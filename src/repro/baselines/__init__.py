@@ -1,0 +1,53 @@
+"""Baselines evaluated against TDmatch in the paper.
+
+Unsupervised (no labels):
+
+* :class:`~repro.baselines.tfidf.TfIdfMatcher` / :class:`~repro.baselines.tfidf.BM25Matcher`
+  — classical IR baselines (related work);
+* :class:`~repro.baselines.word2vec_baseline.Word2VecMatcher` — W2VEC: train
+  word embeddings on the documents themselves and mean-pool;
+* :class:`~repro.baselines.doc2vec_baseline.Doc2VecMatcher` — D2VEC (DBOW);
+* :class:`~repro.baselines.sbert.SbertMatcher` — S-BE: a frozen,
+  general-domain sentence encoder (offline stand-in for SentenceBERT).
+
+Supervised (fine-tuned on 60% of the annotated pairs, marked * in the paper):
+
+* :class:`~repro.baselines.rank.RankMatcher` — RANK*: pairwise learning to rank;
+* :class:`~repro.baselines.ditto.DittoMatcher` — DITTO*: binary cross-encoder
+  style matcher over serialized pairs;
+* :class:`~repro.baselines.deepmatcher.DeepMatcherBaseline` — DEEP-M*:
+  attribute-aware matcher;
+* :class:`~repro.baselines.tapas.TapasMatcher` — TAPAS*: table-aware matcher;
+* :class:`~repro.baselines.bert_classifier.BertLargeClassifier` — L-BE*:
+  multi-label document→concept classifier for the audit task.
+"""
+
+from repro.baselines.nn import LogisticRegression, MLPClassifier
+from repro.baselines.tfidf import BM25Matcher, TfIdfMatcher, TfIdfVectorizer
+from repro.baselines.features import PairFeatureExtractor
+from repro.baselines.sbert import SbertEncoder, SbertMatcher
+from repro.baselines.word2vec_baseline import Word2VecMatcher
+from repro.baselines.doc2vec_baseline import Doc2VecMatcher
+from repro.baselines.rank import RankMatcher
+from repro.baselines.ditto import DittoMatcher
+from repro.baselines.deepmatcher import DeepMatcherBaseline
+from repro.baselines.tapas import TapasMatcher
+from repro.baselines.bert_classifier import BertLargeClassifier
+
+__all__ = [
+    "LogisticRegression",
+    "MLPClassifier",
+    "TfIdfVectorizer",
+    "TfIdfMatcher",
+    "BM25Matcher",
+    "PairFeatureExtractor",
+    "SbertEncoder",
+    "SbertMatcher",
+    "Word2VecMatcher",
+    "Doc2VecMatcher",
+    "RankMatcher",
+    "DittoMatcher",
+    "DeepMatcherBaseline",
+    "TapasMatcher",
+    "BertLargeClassifier",
+]

@@ -1,0 +1,39 @@
+"""DITTO* — supervised entity matcher over serialized tuple pairs.
+
+Ditto fine-tunes a pre-trained language model on serialized entity pairs
+(``[COL] a [VAL] x ...``) as a binary classification task.  The offline
+stand-in keeps the protocol — serialized inputs, binary match/non-match
+training on 60% of the annotated pairs, scoring of every candidate pair at
+test time — with a logistic scorer over pair features.  To mimic Ditto's
+sequence-level view (and its reported weakness when one side has no schema),
+it deliberately uses only sequence-level features and no attribute
+structure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.features import PairFeatureExtractor
+from repro.baselines.nn import LogisticRegression, TrainingConfig
+from repro.baselines.supervised import SupervisedPairMatcher
+
+
+class DittoMatcher(SupervisedPairMatcher):
+    """Binary match classifier over serialized pair features."""
+
+    name = "ditto*"
+
+    def __init__(self, extractor: Optional[PairFeatureExtractor] = None, negatives_per_positive: int = 4, seed=None):
+        super().__init__(extractor=extractor, negatives_per_positive=negatives_per_positive, seed=seed)
+
+    def _build_model(self, n_features: int) -> LogisticRegression:
+        return LogisticRegression(TrainingConfig(epochs=60, learning_rate=0.2), seed=self.seed)
+
+    def _fit_model(self, model: LogisticRegression, features: np.ndarray, labels: np.ndarray) -> None:
+        model.fit(features, labels)
+
+    def _score_model(self, model: LogisticRegression, features: np.ndarray) -> np.ndarray:
+        return model.predict_proba(features)

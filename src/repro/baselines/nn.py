@@ -1,0 +1,168 @@
+"""Minimal neural substrate for the supervised baselines.
+
+The paper's supervised baselines fine-tune transformer models; offline we
+replace them with feature-based classifiers (see DESIGN.md, substitution
+table).  This module provides the two learners they share:
+
+* :class:`LogisticRegression` — binary classifier trained with mini-batch
+  gradient descent and L2 regularisation;
+* :class:`MLPClassifier` — one-hidden-layer network with ReLU, supporting
+  binary and multi-label objectives (sigmoid outputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+@dataclass
+class TrainingConfig:
+    """Shared optimiser settings."""
+
+    learning_rate: float = 0.1
+    epochs: int = 60
+    batch_size: int = 64
+    l2: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+
+
+class LogisticRegression:
+    """Binary logistic regression with mini-batch gradient descent."""
+
+    def __init__(self, config: Optional[TrainingConfig] = None, seed=None):
+        self.config = config or TrainingConfig()
+        self._rng = ensure_rng(seed)
+        self.weights: Optional[np.ndarray] = None
+        self.bias: float = 0.0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticRegression":
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=float).ravel()
+        if features.ndim != 2:
+            raise ValueError("features must be 2-D")
+        if features.shape[0] != labels.shape[0]:
+            raise ValueError("features and labels must have the same length")
+        n, dim = features.shape
+        self.weights = np.zeros(dim)
+        self.bias = 0.0
+        cfg = self.config
+        for _epoch in range(cfg.epochs):
+            order = self._rng.permutation(n)
+            for start in range(0, n, cfg.batch_size):
+                idx = order[start : start + cfg.batch_size]
+                x = features[idx]
+                y = labels[idx]
+                probs = _sigmoid(x @ self.weights + self.bias)
+                error = probs - y
+                grad_w = x.T @ error / idx.size + cfg.l2 * self.weights
+                grad_b = float(error.mean())
+                self.weights -= cfg.learning_rate * grad_w
+                self.bias -= cfg.learning_rate * grad_b
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("model is not trained")
+        features = np.asarray(features, dtype=float)
+        return _sigmoid(features @ self.weights + self.bias)
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(features) >= threshold).astype(int)
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("model is not trained")
+        return np.asarray(features, dtype=float) @ self.weights + self.bias
+
+
+class MLPClassifier:
+    """One-hidden-layer network with sigmoid outputs.
+
+    Supports a single output (binary classification) or ``n_outputs > 1``
+    independent sigmoid outputs (multi-label classification, used by the
+    L-BE* stand-in for the audit taxonomy task).
+    """
+
+    def __init__(
+        self,
+        hidden_size: int = 32,
+        n_outputs: int = 1,
+        config: Optional[TrainingConfig] = None,
+        seed=None,
+    ):
+        if hidden_size < 1:
+            raise ValueError("hidden_size must be >= 1")
+        if n_outputs < 1:
+            raise ValueError("n_outputs must be >= 1")
+        self.hidden_size = hidden_size
+        self.n_outputs = n_outputs
+        self.config = config or TrainingConfig(learning_rate=0.05, epochs=80)
+        self._rng = ensure_rng(seed)
+        self._w1: Optional[np.ndarray] = None
+        self._b1: Optional[np.ndarray] = None
+        self._w2: Optional[np.ndarray] = None
+        self._b2: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "MLPClassifier":
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=float)
+        if labels.ndim == 1:
+            labels = labels[:, None]
+        if labels.shape[1] != self.n_outputs:
+            raise ValueError(
+                f"labels have {labels.shape[1]} columns, expected {self.n_outputs}"
+            )
+        n, dim = features.shape
+        scale = 1.0 / np.sqrt(dim)
+        self._w1 = self._rng.normal(0.0, scale, size=(dim, self.hidden_size))
+        self._b1 = np.zeros(self.hidden_size)
+        self._w2 = self._rng.normal(0.0, 1.0 / np.sqrt(self.hidden_size), size=(self.hidden_size, self.n_outputs))
+        self._b2 = np.zeros(self.n_outputs)
+        cfg = self.config
+        for _epoch in range(cfg.epochs):
+            order = self._rng.permutation(n)
+            for start in range(0, n, cfg.batch_size):
+                idx = order[start : start + cfg.batch_size]
+                x = features[idx]
+                y = labels[idx]
+                hidden_pre = x @ self._w1 + self._b1
+                hidden = np.maximum(hidden_pre, 0.0)
+                probs = _sigmoid(hidden @ self._w2 + self._b2)
+                error = (probs - y) / idx.size
+                grad_w2 = hidden.T @ error + cfg.l2 * self._w2
+                grad_b2 = error.sum(axis=0)
+                grad_hidden = (error @ self._w2.T) * (hidden_pre > 0)
+                grad_w1 = x.T @ grad_hidden + cfg.l2 * self._w1
+                grad_b1 = grad_hidden.sum(axis=0)
+                self._w2 -= cfg.learning_rate * grad_w2
+                self._b2 -= cfg.learning_rate * grad_b2
+                self._w1 -= cfg.learning_rate * grad_w1
+                self._b1 -= cfg.learning_rate * grad_b1
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self._w1 is None:
+            raise RuntimeError("model is not trained")
+        features = np.asarray(features, dtype=float)
+        hidden = np.maximum(features @ self._w1 + self._b1, 0.0)
+        probs = _sigmoid(hidden @ self._w2 + self._b2)
+        if self.n_outputs == 1:
+            return probs.ravel()
+        return probs
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(features) >= threshold).astype(int)

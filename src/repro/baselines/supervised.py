@@ -1,0 +1,145 @@
+"""Shared machinery for the supervised baselines (marked * in the paper).
+
+All supervised baselines follow the same protocol:
+
+* :meth:`SupervisedPairMatcher.fit` receives the query texts, candidate
+  texts, and the gold matches of the *training* queries (60% of the
+  annotated data, as in the paper), builds positive and sampled negative
+  pairs, and trains the underlying scorer;
+* :meth:`SupervisedPairMatcher.rank` scores every (query, candidate) pair
+  and returns the top-k ranking per query.
+
+Sub-classes only customise the feature extractor and the learner.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.baselines.features import PairFeatureExtractor
+from repro.eval.ranking import Ranking, RankingSet
+from repro.utils.rng import ensure_rng
+
+
+def train_test_split_queries(
+    query_ids: Sequence[str], train_fraction: float = 0.6, seed=None
+) -> Tuple[List[str], List[str]]:
+    """Split query ids into train / test sets (paper: 60% for training)."""
+    if not 0 < train_fraction < 1:
+        raise ValueError("train_fraction must be in (0, 1)")
+    rng = ensure_rng(seed)
+    ids = list(query_ids)
+    order = rng.permutation(len(ids))
+    n_train = max(1, int(round(train_fraction * len(ids))))
+    train = [ids[i] for i in order[:n_train]]
+    test = [ids[i] for i in order[n_train:]]
+    if not test:
+        test = train[-1:]
+        train = train[:-1] or train
+    return train, test
+
+
+class SupervisedPairMatcher(ABC):
+    """Base class: binary scorer over (query, candidate) pair features."""
+
+    name = "supervised"
+
+    def __init__(self, extractor: Optional[PairFeatureExtractor] = None, negatives_per_positive: int = 4, seed=None):
+        self.extractor = extractor or PairFeatureExtractor()
+        self.negatives_per_positive = negatives_per_positive
+        self.seed = seed
+        self._rng = ensure_rng(seed)
+        self._model = None
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _build_model(self, n_features: int):
+        """Instantiate the underlying learner."""
+
+    @abstractmethod
+    def _fit_model(self, model, features: np.ndarray, labels: np.ndarray) -> None:
+        """Train the learner."""
+
+    @abstractmethod
+    def _score_model(self, model, features: np.ndarray) -> np.ndarray:
+        """Pair scores (higher = more likely to match)."""
+
+    # ------------------------------------------------------------------
+    def _training_pairs(
+        self,
+        queries: Mapping[str, str],
+        candidates: Mapping[str, str],
+        gold: Mapping[str, Set[str]],
+        train_queries: Sequence[str],
+    ) -> Tuple[List[Tuple[str, str]], List[int]]:
+        candidate_ids = list(candidates)
+        pairs: List[Tuple[str, str]] = []
+        labels: List[int] = []
+        for query_id in train_queries:
+            positives = gold.get(query_id, set())
+            if not positives:
+                continue
+            for positive in positives:
+                if positive not in candidates:
+                    continue
+                pairs.append((queries[query_id], candidates[positive]))
+                labels.append(1)
+                for _ in range(self.negatives_per_positive):
+                    negative = candidate_ids[int(self._rng.integers(0, len(candidate_ids)))]
+                    if negative in positives:
+                        continue
+                    pairs.append((queries[query_id], candidates[negative]))
+                    labels.append(0)
+        return pairs, labels
+
+    def fit(
+        self,
+        queries: Mapping[str, str],
+        candidates: Mapping[str, str],
+        gold: Mapping[str, Set[str]],
+        train_queries: Optional[Sequence[str]] = None,
+    ) -> "SupervisedPairMatcher":
+        """Train on the gold matches of ``train_queries`` (default: all annotated)."""
+        if train_queries is None:
+            train_queries = [q for q in queries if q in gold]
+        self.extractor.fit(list(queries.values()) + list(candidates.values()))
+        pairs, labels = self._training_pairs(queries, candidates, gold, train_queries)
+        if not pairs:
+            raise ValueError("no training pairs could be built from the gold matches")
+        features = self.extractor.feature_matrix(pairs)
+        labels_arr = np.asarray(labels, dtype=float)
+        self._model = self._build_model(features.shape[1])
+        self._fit_model(self._model, features, labels_arr)
+        return self
+
+    # ------------------------------------------------------------------
+    def rank(
+        self,
+        queries: Mapping[str, str],
+        candidates: Mapping[str, str],
+        k: int = 20,
+        query_ids: Optional[Sequence[str]] = None,
+    ) -> RankingSet:
+        """Rank candidates for ``query_ids`` (default: every query)."""
+        if self._model is None:
+            raise RuntimeError("matcher is not fitted")
+        if query_ids is None:
+            query_ids = list(queries)
+        candidate_ids = list(candidates)
+        candidate_texts = [candidates[c] for c in candidate_ids]
+        rankings = RankingSet()
+        for query_id in query_ids:
+            query_text = queries[query_id]
+            features = self.extractor.feature_matrix(
+                [(query_text, candidate_text) for candidate_text in candidate_texts]
+            )
+            scores = self._score_model(self._model, features)
+            order = np.argsort(-scores)[:k]
+            ranking = Ranking(query_id=query_id)
+            for i in order:
+                ranking.add(candidate_ids[int(i)], float(scores[int(i)]))
+            rankings.add(ranking)
+        return rankings

@@ -1,0 +1,30 @@
+"""Core of the reproduction: the TDmatch unsupervised matching pipeline."""
+
+from repro.core.config import (
+    CompressionConfig,
+    ExpansionConfig,
+    MergeConfig,
+    TDMatchConfig,
+)
+from repro.core.blocking import BlockedMatcher, MetadataNeighborhoodBlocking, TokenBlocking
+from repro.core.downstream import EmbeddingPairClassifier
+from repro.core.exceptions import NotFittedError, PipelineError
+from repro.core.matcher import MetadataMatcher, combine_score_matrices
+from repro.core.pipeline import MatchResult, TDMatch
+
+__all__ = [
+    "TDMatchConfig",
+    "MergeConfig",
+    "ExpansionConfig",
+    "CompressionConfig",
+    "TDMatch",
+    "MatchResult",
+    "MetadataMatcher",
+    "combine_score_matrices",
+    "TokenBlocking",
+    "MetadataNeighborhoodBlocking",
+    "BlockedMatcher",
+    "EmbeddingPairClassifier",
+    "NotFittedError",
+    "PipelineError",
+]

@@ -1,0 +1,139 @@
+"""Configuration objects of the TDmatch pipeline.
+
+The defaults follow the paper's default configuration:
+
+* graph construction with Intersect filtering and n-grams up to 3 tokens;
+* 100 random walks of length 30 per node (reducible for small graphs);
+* Word2Vec Skip-gram with window 3 for text-to-data tasks, CBOW with window
+  15 for text-only tasks;
+* expansion and compression disabled unless a knowledge base / ratio is
+  supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.embeddings.word2vec import Word2VecConfig
+from repro.graph.builder import GraphBuilderConfig
+from repro.graph.walks import RandomWalkConfig
+
+
+@dataclass
+class MergeConfig:
+    """Node-merging options (Section II-C).
+
+    Parameters
+    ----------
+    bucket_numeric:
+        Merge numeric data nodes with equal-width buckets.
+    bucket_width:
+        Explicit width; None uses the Freedman–Diaconis rule.
+    pretrained:
+        A pre-trained embedding resource for synonym/typo merging; None
+        disables embedding-based merging.
+    gamma:
+        Cosine threshold; None calibrates it from ``synonym_pairs``.
+    synonym_pairs:
+        Calibration pairs for γ (ignored when ``gamma`` is given).
+    """
+
+    bucket_numeric: bool = False
+    bucket_width: Optional[float] = None
+    pretrained: Optional[object] = None
+    gamma: Optional[float] = None
+    synonym_pairs: Optional[list] = None
+
+    @property
+    def merge_embeddings(self) -> bool:
+        return self.pretrained is not None
+
+
+@dataclass
+class ExpansionConfig:
+    """Graph expansion options (Algorithm 2)."""
+
+    resource: Optional[object] = None
+    max_relations_per_node: Optional[int] = None
+    remove_sinks: bool = True
+
+    @property
+    def enabled(self) -> bool:
+        return self.resource is not None
+
+
+@dataclass
+class CompressionConfig:
+    """Graph compression options (Algorithm 3).
+
+    ``method`` is one of "msp", "ssp", "ssum", "random-node", "random-edge";
+    ``ratio`` is β for MSP/SSP, the target size ratio for SSuM, or the keep
+    ratio for the random samplers.  ``enabled`` defaults to False.
+    """
+
+    enabled: bool = False
+    method: str = "msp"
+    ratio: float = 0.5
+    max_paths_per_pair: int = 16
+
+    def __post_init__(self) -> None:
+        valid = {"msp", "ssp", "ssum", "random-node", "random-edge"}
+        if self.method not in valid:
+            raise ValueError(f"unknown compression method {self.method!r}; valid: {sorted(valid)}")
+        if self.ratio <= 0:
+            raise ValueError("compression ratio must be positive")
+
+
+@dataclass
+class TDMatchConfig:
+    """Full pipeline configuration."""
+
+    builder: GraphBuilderConfig = field(default_factory=GraphBuilderConfig)
+    walks: RandomWalkConfig = field(default_factory=RandomWalkConfig)
+    word2vec: Word2VecConfig = field(default_factory=Word2VecConfig)
+    merge: MergeConfig = field(default_factory=MergeConfig)
+    expansion: ExpansionConfig = field(default_factory=ExpansionConfig)
+    compression: CompressionConfig = field(default_factory=CompressionConfig)
+
+    @classmethod
+    def for_text_to_data(cls, **overrides) -> "TDMatchConfig":
+        """Paper defaults for the text-to-data task: Skip-gram, window 3."""
+        config = cls()
+        config.word2vec.sg = True
+        config.word2vec.window = 3
+        return _apply_overrides(config, overrides)
+
+    @classmethod
+    def for_text_tasks(cls, **overrides) -> "TDMatchConfig":
+        """Paper defaults for text-oriented tasks: CBOW, window 15."""
+        config = cls()
+        config.word2vec.sg = False
+        config.word2vec.window = 15
+        return _apply_overrides(config, overrides)
+
+    @classmethod
+    def fast(cls, **overrides) -> "TDMatchConfig":
+        """A reduced configuration for unit tests and small examples."""
+        config = cls()
+        config.walks.num_walks = 8
+        config.walks.walk_length = 12
+        config.word2vec.vector_size = 48
+        config.word2vec.epochs = 2
+        return _apply_overrides(config, overrides)
+
+
+def _apply_overrides(config: TDMatchConfig, overrides: dict) -> TDMatchConfig:
+    """Apply ``section__field=value`` style overrides, e.g. walks__num_walks=10."""
+    for key, value in overrides.items():
+        if "__" in key:
+            section, field_name = key.split("__", 1)
+            target = getattr(config, section)
+            if not hasattr(target, field_name):
+                raise AttributeError(f"{section} config has no field {field_name!r}")
+            setattr(target, field_name, value)
+        else:
+            if not hasattr(config, key):
+                raise AttributeError(f"TDMatchConfig has no section {key!r}")
+            setattr(config, key, value)
+    return config

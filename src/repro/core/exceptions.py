@@ -1,0 +1,11 @@
+"""Exceptions of the core pipeline."""
+
+from __future__ import annotations
+
+
+class PipelineError(RuntimeError):
+    """Raised when the TDmatch pipeline is used or configured incorrectly."""
+
+
+class NotFittedError(PipelineError):
+    """Raised when matching is requested before the pipeline was fitted."""

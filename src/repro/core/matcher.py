@@ -1,0 +1,110 @@
+"""Unsupervised matching of metadata nodes (Section IV-B).
+
+Given vectors for the metadata nodes of the two corpora, the matcher ranks,
+for every query object, the candidate objects of the other corpus by cosine
+similarity.  It also supports averaging its score matrix with the one of a
+pre-trained sentence encoder, the combination evaluated in Figure 10.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.embeddings.similarity import cosine_matrix, top_k_neighbors
+from repro.eval.ranking import Ranking, RankingSet
+
+
+def _matrix_from_vectors(ids: Sequence[str], vectors: Mapping[str, np.ndarray], dim: int) -> np.ndarray:
+    matrix = np.zeros((len(ids), dim), dtype=float)
+    for i, object_id in enumerate(ids):
+        vec = vectors.get(object_id)
+        if vec is not None:
+            matrix[i] = vec
+    return matrix
+
+
+def combine_score_matrices(matrices: Sequence[np.ndarray], weights: Optional[Sequence[float]] = None) -> np.ndarray:
+    """Average several score matrices (Figure 10's W-RW & S-BE combination).
+
+    Each matrix is min-max normalised per query row before averaging so that
+    methods with different score scales contribute equally.
+    """
+    if not matrices:
+        raise ValueError("at least one score matrix is required")
+    shape = matrices[0].shape
+    for m in matrices:
+        if m.shape != shape:
+            raise ValueError("all score matrices must have the same shape")
+    if weights is None:
+        weights = [1.0] * len(matrices)
+    if len(weights) != len(matrices):
+        raise ValueError("weights must match the number of matrices")
+    total = np.zeros(shape, dtype=float)
+    for matrix, weight in zip(matrices, weights):
+        normalised = np.zeros_like(matrix, dtype=float)
+        for i, row in enumerate(matrix):
+            low, high = float(row.min()), float(row.max())
+            if high > low:
+                normalised[i] = (row - low) / (high - low)
+            else:
+                normalised[i] = 0.0
+        total += weight * normalised
+    return total / sum(weights)
+
+
+class MetadataMatcher:
+    """Ranks candidate objects for query objects using vector similarity."""
+
+    def __init__(
+        self,
+        query_vectors: Mapping[str, np.ndarray],
+        candidate_vectors: Mapping[str, np.ndarray],
+    ):
+        if not query_vectors:
+            raise ValueError("query_vectors is empty")
+        if not candidate_vectors:
+            raise ValueError("candidate_vectors is empty")
+        self.query_ids: List[str] = list(query_vectors)
+        self.candidate_ids: List[str] = list(candidate_vectors)
+        dims = {v.shape[0] for v in query_vectors.values()} | {
+            v.shape[0] for v in candidate_vectors.values()
+        }
+        if len(dims) != 1:
+            raise ValueError(f"inconsistent vector dimensionalities: {sorted(dims)}")
+        self._dim = dims.pop()
+        self._query_matrix = _matrix_from_vectors(self.query_ids, query_vectors, self._dim)
+        self._candidate_matrix = _matrix_from_vectors(self.candidate_ids, candidate_vectors, self._dim)
+        self._scores: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def score_matrix(self) -> np.ndarray:
+        """Cosine similarity matrix (queries × candidates), cached."""
+        if self._scores is None:
+            self._scores = cosine_matrix(self._query_matrix, self._candidate_matrix)
+        return self._scores
+
+    def match(self, k: int = 20, scores: Optional[np.ndarray] = None) -> RankingSet:
+        """Top-k ranking per query; ``scores`` overrides the cosine matrix."""
+        matrix = scores if scores is not None else self.score_matrix()
+        if matrix.shape != (len(self.query_ids), len(self.candidate_ids)):
+            raise ValueError("score matrix shape does not match query/candidate ids")
+        neighbors = top_k_neighbors(matrix, k, self.candidate_ids)
+        rankings = RankingSet()
+        for query_id, ranked in zip(self.query_ids, neighbors):
+            ranking = Ranking(query_id=query_id)
+            for candidate_id, score in ranked:
+                ranking.add(candidate_id, score)
+            rankings.add(ranking)
+        return rankings
+
+    def match_combined(
+        self,
+        other_scores: np.ndarray,
+        k: int = 20,
+        weights: Optional[Sequence[float]] = None,
+    ) -> RankingSet:
+        """Match using the average of this matcher's scores and ``other_scores``."""
+        combined = combine_score_matrices([self.score_matrix(), other_scores], weights=weights)
+        return self.match(k=k, scores=combined)

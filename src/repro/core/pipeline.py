@@ -1,0 +1,245 @@
+"""The TDmatch pipeline (Figure 3 of the paper).
+
+``TDMatch`` wires the whole unsupervised solution together:
+
+1. build the joint graph over the two corpora (Algorithm 1);
+2. optionally merge nodes (numeric bucketing, pre-trained-embedding merge);
+3. optionally expand the graph with an external knowledge base (Algorithm 2);
+4. optionally compress it (Algorithm 3 / baselines);
+5. generate random walks and train Word2Vec on them (Algorithm 4);
+6. rank, for every document of the query corpus, the documents of the other
+   corpus by cosine similarity of their metadata-node vectors.
+
+Typical use::
+
+    pipeline = TDMatch(TDMatchConfig.for_text_to_data(), seed=7)
+    pipeline.fit(reviews_corpus, movies_table)
+    rankings = pipeline.match(k=20)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.config import TDMatchConfig
+from repro.core.exceptions import NotFittedError, PipelineError
+from repro.core.matcher import MetadataMatcher
+from repro.corpus.documents import TextCorpus
+from repro.corpus.table import Table
+from repro.corpus.taxonomy import Taxonomy
+from repro.embeddings.word2vec import Word2Vec
+from repro.eval.ranking import RankingSet
+from repro.graph.builder import BuiltGraph, GraphBuilder
+from repro.graph.compression import (
+    CompressionResult,
+    msp_compress,
+    random_edge_compress,
+    random_node_compress,
+    ssp_compress,
+    ssum_compress,
+)
+from repro.graph.expansion import ExpansionResult, expand_graph
+from repro.graph.merging import EmbeddingMerger, MergeReport, NumericBucketer
+from repro.graph.walks import generate_walks
+from repro.utils.logging import get_logger
+from repro.utils.rng import derive_rng
+from repro.utils.timing import TimingRegistry
+
+logger = get_logger(__name__)
+
+
+@dataclass
+class MatchResult:
+    """A ranking set together with provenance information."""
+
+    rankings: RankingSet
+    query_side: str
+    k: int
+
+
+@dataclass
+class PipelineState:
+    """Everything the pipeline learned during :meth:`TDMatch.fit`."""
+
+    built: BuiltGraph
+    model: Word2Vec
+    merge_reports: list = field(default_factory=list)
+    expansion: Optional[ExpansionResult] = None
+    compression: Optional[CompressionResult] = None
+
+
+class TDMatch:
+    """End-to-end unsupervised matcher for heterogeneous corpora."""
+
+    def __init__(self, config: Optional[TDMatchConfig] = None, seed=None):
+        self.config = config or TDMatchConfig()
+        self.seed = seed
+        self.timings = TimingRegistry()
+        self._state: Optional[PipelineState] = None
+
+    # ------------------------------------------------------------------
+    # Fitting
+    def fit(self, first, second) -> "TDMatch":
+        """Build the graph over ``first`` and ``second`` and learn embeddings."""
+        self._validate_corpus(first, "first")
+        self._validate_corpus(second, "second")
+
+        with self.timings.measure("graph_build"):
+            builder = GraphBuilder(self.config.builder)
+            built = builder.build(first, second)
+        logger.info(
+            "graph built: %d nodes, %d edges", built.graph.num_nodes(), built.graph.num_edges()
+        )
+
+        merge_reports = self._apply_merging(built)
+        expansion = self._apply_expansion(built)
+        compression = self._apply_compression(built)
+
+        with self.timings.measure("walks"):
+            walks = generate_walks(
+                built.graph, self.config.walks, seed=derive_rng(self.seed, "walks")
+            )
+        with self.timings.measure("word2vec"):
+            model = Word2Vec(self.config.word2vec, seed=derive_rng(self.seed, "word2vec"))
+            model.train(walks)
+
+        self._state = PipelineState(
+            built=built,
+            model=model,
+            merge_reports=merge_reports,
+            expansion=expansion,
+            compression=compression,
+        )
+        return self
+
+    def _validate_corpus(self, corpus, position: str) -> None:
+        if not isinstance(corpus, (Table, TextCorpus, Taxonomy)):
+            raise PipelineError(
+                f"{position} corpus must be a Table, TextCorpus, or Taxonomy, got {type(corpus)!r}"
+            )
+        if len(corpus) == 0:
+            raise PipelineError(f"{position} corpus is empty")
+
+    # -- optional graph refinement stages --------------------------------
+    def _apply_merging(self, built: BuiltGraph) -> list:
+        reports: list = []
+        merge_cfg = self.config.merge
+        if merge_cfg.bucket_numeric:
+            with self.timings.measure("merge_bucketing"):
+                bucketer = NumericBucketer(width=merge_cfg.bucket_width)
+                reports.append(bucketer.apply(built.graph))
+        if merge_cfg.merge_embeddings:
+            with self.timings.measure("merge_embeddings"):
+                merger = EmbeddingMerger(merge_cfg.pretrained, threshold=merge_cfg.gamma)
+                if merger.threshold is None:
+                    if not merge_cfg.synonym_pairs:
+                        raise PipelineError(
+                            "embedding merging needs either gamma or synonym_pairs for calibration"
+                        )
+                    merger.calibrate_threshold(merge_cfg.synonym_pairs)
+                reports.append(merger.apply(built.graph))
+        return reports
+
+    def _apply_expansion(self, built: BuiltGraph) -> Optional[ExpansionResult]:
+        expansion_cfg = self.config.expansion
+        if not expansion_cfg.enabled:
+            return None
+        with self.timings.measure("expansion"):
+            return expand_graph(
+                built.graph,
+                expansion_cfg.resource,
+                max_relations_per_node=expansion_cfg.max_relations_per_node,
+                remove_sinks=expansion_cfg.remove_sinks,
+            )
+
+    def _apply_compression(self, built: BuiltGraph) -> Optional[CompressionResult]:
+        compression_cfg = self.config.compression
+        if not compression_cfg.enabled:
+            return None
+        with self.timings.measure("compression"):
+            seed = derive_rng(self.seed, "compression")
+            if compression_cfg.method == "msp":
+                result = msp_compress(
+                    built.graph,
+                    built.first_labels(),
+                    built.second_labels(),
+                    beta=compression_cfg.ratio,
+                    seed=seed,
+                    max_paths_per_pair=compression_cfg.max_paths_per_pair,
+                )
+            elif compression_cfg.method == "ssp":
+                result = ssp_compress(
+                    built.graph,
+                    beta=compression_cfg.ratio,
+                    seed=seed,
+                    max_paths_per_pair=compression_cfg.max_paths_per_pair,
+                )
+            elif compression_cfg.method == "ssum":
+                result = ssum_compress(built.graph, target_ratio=compression_cfg.ratio, seed=seed)
+            elif compression_cfg.method == "random-node":
+                result = random_node_compress(built.graph, keep_ratio=compression_cfg.ratio, seed=seed)
+            else:
+                result = random_edge_compress(built.graph, keep_ratio=compression_cfg.ratio, seed=seed)
+        # The compressed graph replaces the original for walks and matching.
+        built.graph = result.graph
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection
+    @property
+    def state(self) -> PipelineState:
+        if self._state is None:
+            raise NotFittedError("call fit() before accessing the pipeline state")
+        return self._state
+
+    @property
+    def graph(self):
+        return self.state.built.graph
+
+    @property
+    def model(self) -> Word2Vec:
+        return self.state.model
+
+    def metadata_vectors(self, side: str = "first") -> Dict[str, np.ndarray]:
+        """Learned vectors of the metadata nodes of one corpus.
+
+        Metadata nodes that fell out of the walk vocabulary (isolated nodes)
+        get a zero vector so every document still receives a ranking.
+        """
+        state = self.state
+        if side == "first":
+            mapping = state.built.first_metadata
+        elif side == "second":
+            mapping = state.built.second_metadata
+        else:
+            raise ValueError("side must be 'first' or 'second'")
+        dim = self.config.word2vec.vector_size
+        vectors: Dict[str, np.ndarray] = {}
+        for object_id, label in mapping.items():
+            vec = state.model.vector(label)
+            vectors[object_id] = vec if vec is not None else np.zeros(dim)
+        return vectors
+
+    # ------------------------------------------------------------------
+    # Matching
+    def matcher(self, query_side: str = "first") -> MetadataMatcher:
+        """A :class:`MetadataMatcher` for the chosen query side."""
+        if query_side not in ("first", "second"):
+            raise ValueError("query_side must be 'first' or 'second'")
+        candidate_side = "second" if query_side == "first" else "first"
+        return MetadataMatcher(
+            query_vectors=self.metadata_vectors(query_side),
+            candidate_vectors=self.metadata_vectors(candidate_side),
+        )
+
+    def match(self, k: int = 20, query_side: str = "first") -> RankingSet:
+        """Rank the top-k candidates of the other corpus for every query."""
+        with self.timings.measure("match"):
+            rankings = self.matcher(query_side).match(k=k)
+        return rankings
+
+    def match_result(self, k: int = 20, query_side: str = "first") -> MatchResult:
+        return MatchResult(rankings=self.match(k=k, query_side=query_side), query_side=query_side, k=k)

@@ -1,0 +1,94 @@
+"""Plain text corpora.
+
+A :class:`Document` is the unit of matching on the text side: a sentence,
+a paragraph, or a review, depending on the user-defined granularity
+(Section II of the paper).  A :class:`TextCorpus` is an ordered collection of
+documents with unique identifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class Document:
+    """A single text document.
+
+    Attributes
+    ----------
+    doc_id:
+        Unique identifier within its corpus (used as metadata-node label).
+    text:
+        Raw document text.
+    metadata:
+        Optional free-form attributes (e.g. source, author) that are not used
+        by the matcher but are convenient for applications.
+    """
+
+    doc_id: str
+    text: str
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.doc_id:
+            raise ValueError("Document requires a non-empty doc_id")
+
+    def __len__(self) -> int:
+        return len(self.text)
+
+
+class TextCorpus:
+    """An ordered, id-indexed collection of :class:`Document` objects."""
+
+    def __init__(self, documents: Iterable[Document] = (), name: str = "corpus"):
+        self.name = name
+        self._documents: List[Document] = []
+        self._by_id: Dict[str, Document] = {}
+        for doc in documents:
+            self.add(doc)
+
+    # ------------------------------------------------------------------
+    def add(self, document: Document) -> None:
+        """Add a document; ids must be unique within the corpus."""
+        if document.doc_id in self._by_id:
+            raise ValueError(f"duplicate document id: {document.doc_id!r}")
+        self._by_id[document.doc_id] = document
+        self._documents.append(document)
+
+    def add_text(self, doc_id: str, text: str, **metadata: str) -> Document:
+        """Convenience constructor: wrap raw text into a document and add it."""
+        doc = Document(doc_id=doc_id, text=text, metadata=dict(metadata))
+        self.add(doc)
+        return doc
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._documents)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._by_id
+
+    def __getitem__(self, doc_id: str) -> Document:
+        return self._by_id[doc_id]
+
+    def get(self, doc_id: str, default: Optional[Document] = None) -> Optional[Document]:
+        return self._by_id.get(doc_id, default)
+
+    @property
+    def document_ids(self) -> List[str]:
+        return [d.doc_id for d in self._documents]
+
+    @property
+    def documents(self) -> List[Document]:
+        return list(self._documents)
+
+    def texts(self) -> List[str]:
+        return [d.text for d in self._documents]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"TextCorpus(name={self.name!r}, size={len(self)})"

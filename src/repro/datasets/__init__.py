@@ -1,0 +1,29 @@
+"""Synthetic scenario generators for the paper's six evaluation datasets.
+
+The original corpora (IMDb reviews, CoronaCheck, the KPMG audit corpus,
+Snopes, Politifact, STS) are not available offline; each generator builds a
+scaled-down synthetic equivalent with the same structure — corpus types,
+schemas, document-length distributions, vocabulary overlap and ambiguity —
+and gold matches known by construction (see DESIGN.md, substitution table).
+"""
+
+from repro.datasets.base import MatchingScenario, ScenarioSize
+from repro.datasets.imdb import generate_imdb_scenario
+from repro.datasets.corona import generate_corona_scenario
+from repro.datasets.audit import generate_audit_scenario
+from repro.datasets.claims import generate_politifact_scenario, generate_snopes_scenario
+from repro.datasets.sts import generate_sts_scenario
+from repro.datasets.registry import SCENARIO_GENERATORS, generate_scenario
+
+__all__ = [
+    "MatchingScenario",
+    "ScenarioSize",
+    "generate_imdb_scenario",
+    "generate_corona_scenario",
+    "generate_audit_scenario",
+    "generate_snopes_scenario",
+    "generate_politifact_scenario",
+    "generate_sts_scenario",
+    "SCENARIO_GENERATORS",
+    "generate_scenario",
+]

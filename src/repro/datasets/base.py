@@ -1,0 +1,118 @@
+"""Scenario container shared by all synthetic datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Union
+
+from repro.corpus.documents import TextCorpus
+from repro.corpus.serialization import serialize_row
+from repro.corpus.table import Table
+from repro.corpus.taxonomy import Taxonomy
+from repro.kb.knowledge_base import InMemoryKnowledgeBase
+
+Corpus = Union[Table, TextCorpus, Taxonomy]
+
+
+@dataclass
+class ScenarioSize:
+    """Size knobs shared by the generators.
+
+    ``tiny`` is meant for unit tests, ``small`` for benchmarks on a laptop,
+    ``medium`` approaches (scaled-down) paper sizes.
+    """
+
+    n_entities: int = 60
+    n_queries: int = 80
+    n_distractors: int = 40
+
+    @classmethod
+    def tiny(cls) -> "ScenarioSize":
+        return cls(n_entities=16, n_queries=20, n_distractors=8)
+
+    @classmethod
+    def small(cls) -> "ScenarioSize":
+        return cls(n_entities=60, n_queries=80, n_distractors=40)
+
+    @classmethod
+    def medium(cls) -> "ScenarioSize":
+        return cls(n_entities=150, n_queries=220, n_distractors=100)
+
+
+@dataclass
+class MatchingScenario:
+    """One matching task: two corpora, gold matches, and optional resources.
+
+    Attributes
+    ----------
+    name / task:
+        Scenario identifier and task type ("text-to-data",
+        "text-to-structured-text", "text-to-text").
+    first:
+        The query corpus (text documents in all paper scenarios).
+    second:
+        The candidate corpus (a table, a taxonomy, or another text corpus).
+    gold:
+        Query document id → set of matching candidate ids.
+    kb:
+        External knowledge base for graph expansion (DBpedia/ConceptNet
+        stand-in consistent with the scenario's world model).
+    synonym_clusters:
+        Term clusters used to build the pre-trained resource for node
+        merging and the S-BE encoder.
+    general_vocabulary:
+        Tokens that the pre-trained resources model well.
+    """
+
+    name: str
+    task: str
+    first: TextCorpus
+    second: Corpus
+    gold: Dict[str, Set[str]]
+    kb: Optional[InMemoryKnowledgeBase] = None
+    synonym_clusters: Dict[str, List[str]] = field(default_factory=dict)
+    general_vocabulary: List[str] = field(default_factory=list)
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def query_texts(self) -> Dict[str, str]:
+        """Query document id → raw text (for the text-based baselines)."""
+        return {doc.doc_id: doc.text for doc in self.first}
+
+    def candidate_texts(self) -> Dict[str, str]:
+        """Candidate id → text rendering (serialized rows for tables)."""
+        if isinstance(self.second, Table):
+            return {row.row_id: serialize_row(row) for row in self.second}
+        if isinstance(self.second, Taxonomy):
+            return {node.node_id: " ".join(self.second.label_path(node.node_id)) for node in self.second}
+        return {doc.doc_id: doc.text for doc in self.second}
+
+    def candidate_ids(self) -> List[str]:
+        if isinstance(self.second, Table):
+            return self.second.row_ids
+        if isinstance(self.second, Taxonomy):
+            return self.second.node_ids
+        return self.second.document_ids
+
+    def validate(self) -> None:
+        """Check internal consistency (gold ids exist in the corpora)."""
+        query_ids = set(self.query_texts())
+        candidate_ids = set(self.candidate_ids())
+        for query_id, matches in self.gold.items():
+            if query_id not in query_ids:
+                raise ValueError(f"gold query {query_id!r} is not in the first corpus")
+            missing = matches - candidate_ids
+            if missing:
+                raise ValueError(f"gold candidates missing from second corpus: {sorted(missing)[:5]}")
+        if not self.gold:
+            raise ValueError("scenario has no gold matches")
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "task": self.task,
+            "queries": len(self.first),
+            "candidates": len(self.candidate_ids()),
+            "annotated": len(self.gold),
+            "kb_triples": len(self.kb) if self.kb is not None else 0,
+        }

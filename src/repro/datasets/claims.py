@@ -1,0 +1,171 @@
+"""Synthetic Snopes and Politifact scenarios (Tables IV and V).
+
+Both scenarios are text-to-text: given an input claim, rank the verified
+claims (facts) that check it.  The generator builds a pool of verified
+claims about political/societal topics, then derives query claims as noisy
+paraphrases of some of them (synonym substitutions, rounding of numbers,
+reordering), plus distractor verified claims that match nothing.
+
+Snopes claims are longer and more descriptive than Politifact claims, as in
+the paper (43 vs 18 tokens on average) — controlled by ``query_style``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.corpus.documents import TextCorpus
+from repro.datasets.base import MatchingScenario, ScenarioSize
+from repro.datasets import vocabularies as vocab
+from repro.kb.conceptnet import build_concept_kb
+from repro.utils.rng import ensure_rng
+
+_SYNONYMS: Dict[str, List[str]] = {
+    "increase": ["increase", "rise", "growth", "surge"],
+    "decrease": ["decrease", "drop", "decline", "fall"],
+    "claims": ["claims", "says", "states", "argues"],
+    "million": ["million", "millions"],
+    "percent": ["percent", "percentage points", "pct"],
+    "report": ["report", "study", "analysis"],
+    "government": ["government", "administration", "state"],
+    "country": ["country", "nation"],
+}
+
+_ENTITIES = [
+    "the governor", "the senator", "the mayor", "the agency", "the ministry",
+    "the committee", "the president", "the union", "the institute", "the council",
+]
+
+
+@dataclass
+class _Fact:
+    fact_id: str
+    topic: str
+    entity: str
+    keyword: str
+    direction: str
+    amount: int
+    year: int
+
+    def render(self, rng, verbose: bool) -> str:
+        verb = str(rng.choice(vocab.CLAIM_VERBS))
+        base = (
+            f"{self.entity} {verb} that {self.keyword} {self.direction}d by "
+            f"{self.amount} percent in {self.year}"
+        )
+        if verbose:
+            extra = (
+                f" according to a {rng.choice(_SYNONYMS['report'])} on {self.topic} published that year,"
+                f" a figure disputed by independent researchers"
+            )
+            return base + extra + "."
+        return base + "."
+
+
+def _substitute(text: str, rng) -> str:
+    tokens = text.split()
+    out: List[str] = []
+    for token in tokens:
+        stripped = token.strip(".,").lower()
+        options = _SYNONYMS.get(stripped)
+        if options and rng.random() < 0.6:
+            out.append(str(rng.choice(options)))
+        else:
+            out.append(token)
+    return " ".join(out)
+
+
+def _paraphrase(fact: _Fact, rng, verbose: bool) -> str:
+    amount = fact.amount
+    if rng.random() < 0.4:
+        amount = int(round(amount, -1)) or amount
+    templates = [
+        f"is it true that {fact.keyword} {fact.direction}d {amount} percent in {fact.year}",
+        f"{fact.entity} said {fact.keyword} {fact.direction}d by about {amount} percent",
+        f"social posts claim a {amount} percent {fact.direction} in {fact.keyword} during {fact.year}",
+    ]
+    text = str(rng.choice(templates))
+    if verbose:
+        text += f", supposedly linked to {fact.topic} policy changes under debate"
+    return _substitute(text, rng) + ("?" if text.startswith("is it") else ".")
+
+
+def _generate_facts(n_facts: int, rng) -> List[_Fact]:
+    facts: List[_Fact] = []
+    topics = list(vocab.CLAIM_TOPICS)
+    for i in range(n_facts):
+        topic = str(rng.choice(topics))
+        keyword = str(rng.choice(vocab.CLAIM_TOPICS[topic]))
+        facts.append(
+            _Fact(
+                fact_id=f"f{i:05d}",
+                topic=topic,
+                entity=str(rng.choice(_ENTITIES)),
+                keyword=keyword,
+                direction=str(rng.choice(["increase", "decrease"])),
+                amount=int(rng.integers(2, 90)),
+                year=int(rng.integers(2010, 2022)),
+            )
+        )
+    return facts
+
+
+def _generate_claim_scenario(
+    name: str,
+    size: ScenarioSize,
+    seed: int,
+    verbose_queries: bool,
+) -> MatchingScenario:
+    rng = ensure_rng(seed)
+    n_facts = size.n_entities + size.n_distractors
+    facts = _generate_facts(n_facts, rng)
+
+    verified = TextCorpus(name=f"{name}_verified")
+    for fact in facts:
+        verified.add_text(fact.fact_id, fact.render(rng, verbose=True))
+
+    queries = TextCorpus(name=f"{name}_claims")
+    gold: Dict[str, Set[str]] = {}
+    matchable = facts[: size.n_entities]
+    for i in range(size.n_queries):
+        fact = matchable[int(rng.integers(0, len(matchable)))]
+        doc_id = f"q{i:05d}"
+        queries.add_text(doc_id, _paraphrase(fact, rng, verbose=verbose_queries))
+        gold[doc_id] = {fact.fact_id}
+
+    concept_clusters = {key: list(values) for key, values in _SYNONYMS.items()}
+    concept_clusters.update({t: list(words) for t, words in vocab.CLAIM_TOPICS.items()})
+    kb = build_concept_kb(
+        concept_clusters,
+        noise_terms=vocab.GENERAL_ENGLISH,
+        noise_relations=40,
+        seed=rng,
+        name=f"conceptnet-{name}",
+    )
+
+    scenario = MatchingScenario(
+        name=name,
+        task="text-to-text",
+        first=queries,
+        second=verified,
+        gold=gold,
+        kb=kb,
+        synonym_clusters=concept_clusters,
+        general_vocabulary=list(vocab.GENERAL_ENGLISH)
+        + [w for words in vocab.CLAIM_TOPICS.values() for w in words]
+        + [w for words in _SYNONYMS.values() for w in words],
+        extras={"verified_claims": len(facts)},
+    )
+    scenario.validate()
+    return scenario
+
+
+def generate_snopes_scenario(size: Optional[ScenarioSize] = None, seed: int = 59) -> MatchingScenario:
+    """Snopes-style scenario: longer, more descriptive query claims."""
+    return _generate_claim_scenario("snopes", size or ScenarioSize.small(), seed, verbose_queries=True)
+
+
+def generate_politifact_scenario(size: Optional[ScenarioSize] = None, seed: int = 61) -> MatchingScenario:
+    """Politifact-style scenario: short political claims."""
+    return _generate_claim_scenario("politifact", size or ScenarioSize.small(), seed, verbose_queries=False)

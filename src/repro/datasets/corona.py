@@ -1,0 +1,211 @@
+"""Synthetic CoronaCheck scenario (Table II): COVID claims matched to tuples.
+
+The original scenario matches COVID-19 claims against a relation of daily
+statistics per country.  The synthetic version builds a monthly statistics
+table (country, month, metric values) and derives two claim corpora:
+
+* ``Gen`` — clean sentences generated from the rows ("New cases in Italy in
+  March were 1250");
+* ``Usr`` — user-style sentences with typos in country names, rounded
+  numbers, comparative phrasing ("cases in US higher than China"), which is
+  what makes the Usr split harder in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.corpus.documents import TextCorpus
+from repro.corpus.table import Column, Table
+from repro.datasets.base import MatchingScenario, ScenarioSize
+from repro.datasets import vocabularies as vocab
+from repro.kb.conceptnet import build_concept_kb
+from repro.utils.rng import ensure_rng
+
+CORONA_COLUMNS: List[Column] = [
+    Column("country"),
+    Column("month"),
+    Column("new_cases", dtype="numeric"),
+    Column("total_cases", dtype="numeric"),
+    Column("new_deaths", dtype="numeric"),
+    Column("total_deaths", dtype="numeric"),
+    Column("new_tests", dtype="numeric"),
+]
+
+_METRIC_TO_COLUMN = {
+    "new cases": "new_cases",
+    "total cases": "total_cases",
+    "new deaths": "new_deaths",
+    "total deaths": "total_deaths",
+    "new tests": "new_tests",
+}
+
+
+@dataclass
+class _StatRow:
+    row_id: str
+    country: str
+    month: str
+    values: Dict[str, int]
+
+
+def _typo(word: str, rng) -> str:
+    """Introduce a single-character typo (drop or swap) into ``word``."""
+    if len(word) < 4 or rng.random() < 0.5:
+        return word
+    pos = int(rng.integers(1, len(word) - 1))
+    if rng.random() < 0.5:
+        return word[:pos] + word[pos + 1 :]
+    chars = list(word)
+    chars[pos], chars[pos - 1] = chars[pos - 1], chars[pos]
+    return "".join(chars)
+
+
+def _country_mention(country: str, rng, user_style: bool) -> str:
+    variants = vocab.COUNTRY_VARIANTS.get(country)
+    if variants and rng.random() < 0.5:
+        country = str(rng.choice(variants))
+    if user_style and rng.random() < 0.35:
+        country = " ".join(_typo(w, rng) for w in country.split())
+    return country
+
+
+def _sample_rows(size: ScenarioSize, rng) -> List[_StatRow]:
+    rows: List[_StatRow] = []
+    n_countries = min(len(vocab.COUNTRIES), max(5, size.n_entities // 4))
+    countries = [str(c) for c in rng.choice(vocab.COUNTRIES, size=n_countries, replace=False)]
+    n_months = max(2, min(12, size.n_entities // n_countries + 1))
+    months = vocab.MONTHS[:n_months]
+    index = 0
+    for country in countries:
+        total_cases = int(rng.integers(100, 2000))
+        total_deaths = int(rng.integers(5, 100))
+        for month in months:
+            new_cases = int(rng.integers(50, 40000))
+            new_deaths = int(rng.integers(1, 900))
+            new_tests = int(rng.integers(1000, 200000))
+            total_cases += new_cases
+            total_deaths += new_deaths
+            rows.append(
+                _StatRow(
+                    row_id=f"c{index:05d}",
+                    country=country,
+                    month=month,
+                    values={
+                        "new_cases": new_cases,
+                        "total_cases": total_cases,
+                        "new_deaths": new_deaths,
+                        "total_deaths": total_deaths,
+                        "new_tests": new_tests,
+                    },
+                )
+            )
+            index += 1
+    return rows
+
+
+def _stats_table(rows: List[_StatRow]) -> Table:
+    table = Table("coronacheck", CORONA_COLUMNS)
+    for row in rows:
+        table.add_record(row.row_id, country=row.country, month=row.month, **row.values)
+    return table
+
+
+def _generated_claim(row: _StatRow, metric: str, rng) -> str:
+    value = row.values[_METRIC_TO_COLUMN[metric]]
+    templates = [
+        f"The number of {metric} in {row.country} in {row.month} was {value}.",
+        f"{row.country} reported {value} {metric} during {row.month}.",
+        f"In {row.month}, {metric} in {row.country} reached {value}.",
+    ]
+    return str(rng.choice(templates))
+
+
+def _user_claim(row: _StatRow, other: Optional[_StatRow], metric: str, rng) -> str:
+    value = row.values[_METRIC_TO_COLUMN[metric]]
+    country = _country_mention(row.country, rng, user_style=True)
+    rounded = int(round(value, -2)) if value > 200 else value
+    if other is not None and rng.random() < 0.4:
+        other_country = _country_mention(other.country, rng, user_style=True)
+        return (
+            f"number of {metric} in {country} is higher than {other_country} this {row.month}"
+        )
+    templates = [
+        f"did {country} really have about {rounded} {metric} in {row.month}",
+        f"{country} {metric} around {rounded} last {row.month}",
+        f"heard that {metric} in {country} hit {rounded} in {row.month}",
+    ]
+    return str(rng.choice(templates))
+
+
+def generate_corona_scenario(
+    size: Optional[ScenarioSize] = None,
+    seed: int = 29,
+    user_style: bool = False,
+    claims_per_row: float = 0.8,
+) -> MatchingScenario:
+    """Generate the CoronaCheck text-to-data scenario.
+
+    ``user_style=False`` produces the Gen split, ``True`` the harder Usr
+    split (typos, rounding, comparative claims matching two rows).
+    """
+    size = size or ScenarioSize.small()
+    rng = ensure_rng(seed)
+    rows = _sample_rows(size, rng)
+    table = _stats_table(rows)
+
+    claims = TextCorpus(name="corona_usr" if user_style else "corona_gen")
+    gold: Dict[str, Set[str]] = {}
+    n_claims = max(5, int(claims_per_row * len(rows))) if not user_style else max(
+        5, int(0.25 * len(rows))
+    )
+    metrics = list(_METRIC_TO_COLUMN)
+    for i in range(n_claims):
+        row = rows[int(rng.integers(0, len(rows)))]
+        metric = str(rng.choice(metrics))
+        doc_id = f"q{i:05d}"
+        if user_style:
+            other = rows[int(rng.integers(0, len(rows)))]
+            other = other if other.row_id != row.row_id else None
+            text = _user_claim(row, other, metric, rng)
+            matches = {row.row_id}
+            if other is not None and "higher than" in text:
+                matches.add(other.row_id)
+        else:
+            text = _generated_claim(row, metric, rng)
+            matches = {row.row_id}
+        claims.add_text(doc_id, text)
+        gold[doc_id] = matches
+
+    # ConceptNet-like resource: metric phrasing clusters + month/season links.
+    concept_clusters = {
+        "cases": ["cases", "infections", "positives"],
+        "deaths": ["deaths", "fatalities", "casualties"],
+        "tests": ["tests", "swabs", "screenings"],
+        "pandemic": ["covid", "coronavirus", "pandemic", "virus"],
+    }
+    kb = build_concept_kb(
+        concept_clusters,
+        noise_terms=vocab.GENERAL_ENGLISH,
+        noise_relations=30,
+        seed=rng,
+        name="conceptnet-corona",
+    )
+
+    synonym_clusters = {f"country::{c}": v for c, v in vocab.COUNTRY_VARIANTS.items()}
+    synonym_clusters.update({f"metric::{k}": v for k, v in concept_clusters.items()})
+
+    scenario = MatchingScenario(
+        name="corona_usr" if user_style else "corona_gen",
+        task="text-to-data",
+        first=claims,
+        second=table,
+        gold=gold,
+        kb=kb,
+        synonym_clusters=synonym_clusters,
+        general_vocabulary=list(vocab.GENERAL_ENGLISH) + vocab.MONTHS,
+        extras={"rows": len(rows), "user_style": user_style},
+    )
+    scenario.validate()
+    return scenario

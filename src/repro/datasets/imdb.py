@@ -1,0 +1,296 @@
+"""Synthetic IMDb scenario (Table I): movie reviews matched to movie tuples.
+
+The generator builds a "world" of movies with directors, casts, genres and
+numeric attributes, renders them both as a 13-attribute relation and as free
+text reviews (two per movie, as in the paper), and emits the gold
+review→tuple matches.  Reviews reference the movie through noisy mentions —
+partial titles, abbreviated actor names ("b. willis"), genre synonyms — so
+that exact-overlap methods are penalised the same way the paper describes.
+
+Two table variants are produced: ``WT`` (with the title attribute) and the
+harder ``NT`` (title dropped), matching the paper's setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.corpus.documents import TextCorpus
+from repro.corpus.table import Column, Table
+from repro.datasets.base import MatchingScenario, ScenarioSize
+from repro.datasets import vocabularies as vocab
+from repro.kb.dbpedia import build_entity_kb
+from repro.utils.rng import ensure_rng
+
+IMDB_COLUMNS: List[Column] = [
+    Column("title"),
+    Column("director"),
+    Column("lead_actor"),
+    Column("supporting_actor"),
+    Column("genre"),
+    Column("year", dtype="numeric"),
+    Column("rating", dtype="numeric"),
+    Column("runtime", dtype="numeric"),
+    Column("country"),
+    Column("language"),
+    Column("certificate"),
+    Column("gross_millions", dtype="numeric"),
+    Column("keywords"),
+]
+
+_LANGUAGES = ["english", "french", "italian", "japanese", "spanish", "korean"]
+_CERTIFICATES = ["pg", "pg 13", "r", "g"]
+_KEYWORD_POOL = [
+    "betrayal", "revenge", "heist", "ghost", "memory", "island", "trial",
+    "escape", "conspiracy", "wedding", "journey", "sacrifice", "rivalry",
+]
+
+
+@dataclass
+class _Movie:
+    """Internal world-model record used to derive both corpora and the KB."""
+
+    movie_id: str
+    title_words: List[str]
+    director_first: str
+    director_last: str
+    lead_first: str
+    lead_last: str
+    support_first: str
+    support_last: str
+    genre: str
+    year: int
+    rating: float
+    runtime: int
+    country: str
+    language: str
+    certificate: str
+    gross: int
+    keywords: List[str]
+
+    @property
+    def title(self) -> str:
+        return " ".join(w.title() for w in self.title_words)
+
+    @property
+    def director(self) -> str:
+        return f"{self.director_first.title()} {self.director_last.title()}"
+
+    @property
+    def lead(self) -> str:
+        return f"{self.lead_first.title()} {self.lead_last.title()}"
+
+    @property
+    def support(self) -> str:
+        return f"{self.support_first.title()} {self.support_last.title()}"
+
+
+def _sample_movies(size: ScenarioSize, rng) -> List[_Movie]:
+    movies: List[_Movie] = []
+    used_titles: Set[Tuple[str, ...]] = set()
+    for i in range(size.n_entities):
+        while True:
+            n_words = int(rng.integers(1, 4))
+            words = tuple(rng.choice(vocab.TITLE_WORDS, size=n_words, replace=False).tolist())
+            if words not in used_titles:
+                used_titles.add(words)
+                break
+        movies.append(
+            _Movie(
+                movie_id=f"m{i:04d}",
+                title_words=list(words),
+                director_first=str(rng.choice(vocab.FIRST_NAMES)),
+                director_last=str(rng.choice(vocab.LAST_NAMES)),
+                lead_first=str(rng.choice(vocab.FIRST_NAMES)),
+                lead_last=str(rng.choice(vocab.LAST_NAMES)),
+                support_first=str(rng.choice(vocab.FIRST_NAMES)),
+                support_last=str(rng.choice(vocab.LAST_NAMES)),
+                genre=str(rng.choice(vocab.GENRES)),
+                year=int(rng.integers(1960, 2021)),
+                rating=round(float(rng.uniform(4.0, 9.5)), 1),
+                runtime=int(rng.integers(80, 200)),
+                country=str(rng.choice(vocab.COUNTRIES)),
+                language=str(rng.choice(_LANGUAGES)),
+                certificate=str(rng.choice(_CERTIFICATES)),
+                gross=int(rng.integers(1, 900)),
+                keywords=[str(k) for k in rng.choice(_KEYWORD_POOL, size=2, replace=False)],
+            )
+        )
+    return movies
+
+
+def _movies_table(movies: List[_Movie], name: str = "imdb") -> Table:
+    table = Table(name, IMDB_COLUMNS)
+    for movie in movies:
+        table.add_record(
+            movie.movie_id,
+            title=movie.title,
+            director=movie.director,
+            lead_actor=movie.lead,
+            supporting_actor=movie.support,
+            genre=movie.genre,
+            year=movie.year,
+            rating=movie.rating,
+            runtime=movie.runtime,
+            country=movie.country,
+            language=movie.language,
+            certificate=movie.certificate,
+            gross_millions=movie.gross,
+            keywords=", ".join(movie.keywords),
+        )
+    return table
+
+
+def _actor_mention(first: str, last: str, rng) -> str:
+    """A noisy mention of a person: full name, abbreviation, or last name."""
+    style = int(rng.integers(0, 3))
+    if style == 0:
+        return f"{first.title()} {last.title()}"
+    if style == 1:
+        return f"{first[0].upper()}. {last.title()}"
+    return last.title()
+
+
+def _genre_mention(genre: str, rng) -> str:
+    synonyms = vocab.GENRE_SYNONYMS.get(genre)
+    if synonyms:
+        return str(rng.choice(synonyms))
+    return genre
+
+
+def _title_mention(movie: _Movie, rng) -> str:
+    """The full title, or a partial title for multi-word titles."""
+    if len(movie.title_words) > 1 and rng.random() < 0.3:
+        keep = int(rng.integers(1, len(movie.title_words)))
+        return " ".join(w.title() for w in movie.title_words[:keep])
+    return movie.title
+
+def _review_text(movie: _Movie, rng) -> str:
+    """One synthetic review: 4-8 sentences referencing the movie noisily."""
+    sentences: List[str] = []
+    sentences.append(
+        f"{_title_mention(movie, rng)} is {rng.choice(vocab.REVIEW_OPINIONS)}."
+    )
+    sentences.append(
+        f"Director {_actor_mention(movie.director_first, movie.director_last, rng)} "
+        f"delivers a {_genre_mention(movie.genre, rng)} that lingers."
+    )
+    sentences.append(
+        f"{_actor_mention(movie.lead_first, movie.lead_last, rng)} gives a career best turn, "
+        f"while {_actor_mention(movie.support_first, movie.support_last, rng)} grounds every scene."
+    )
+    if rng.random() < 0.6:
+        sentences.append(
+            f"Set in {movie.country.title()}, the story of {rng.choice(movie.keywords)} feels urgent."
+        )
+    if rng.random() < 0.5:
+        sentences.append(f"Back in {movie.year} nothing else looked like this.")
+    n_filler = int(rng.integers(1, 4))
+    for sentence in rng.choice(vocab.REVIEW_FILLER, size=n_filler, replace=False):
+        sentences.append(str(sentence).capitalize() + ".")
+    return " ".join(sentences)
+
+
+def _build_kb(movies: List[_Movie], rng, noise_per_entity: int = 12):
+    """DBpedia-like KB: true filmography relations plus noisy fan-out."""
+    relations: List[Tuple[str, str, str]] = []
+    popular: List[str] = []
+    for movie in movies:
+        title = " ".join(movie.title_words)
+        director = f"{movie.director_first} {movie.director_last}"
+        lead = f"{movie.lead_first} {movie.lead_last}"
+        support = f"{movie.support_first} {movie.support_last}"
+        relations.append((director, "directorOf", title))
+        relations.append((lead, "starringOf", title))
+        relations.append((support, "starringOf", title))
+        relations.append((movie.director_last, "surnameOf", director))
+        relations.append((movie.lead_last, "surnameOf", lead))
+        relations.append((movie.support_last, "surnameOf", support))
+        relations.append((director, "knownFor", movie.genre))
+        popular.extend([director, lead])
+    return build_entity_kb(
+        entity_relations=relations,
+        popular_entities=popular,
+        noise_per_entity=noise_per_entity,
+        noise_vocabulary=vocab.GENERAL_ENGLISH,
+        seed=rng,
+        name="dbpedia-imdb",
+    )
+
+
+def _synonym_clusters(movies: List[_Movie]) -> Dict[str, List[str]]:
+    """Name-variant clusters for the pre-trained merge resource."""
+    clusters: Dict[str, List[str]] = {}
+    people = set()
+    for movie in movies:
+        for first, last in (
+            (movie.director_first, movie.director_last),
+            (movie.lead_first, movie.lead_last),
+            (movie.support_first, movie.support_last),
+        ):
+            people.add((first, last))
+    for first, last in sorted(people):
+        clusters[f"person::{first}-{last}"] = [
+            f"{first} {last}",
+            f"{first[0]} {last}",
+            last,
+        ]
+    for genre, synonyms in vocab.GENRE_SYNONYMS.items():
+        clusters[f"genre::{genre}"] = list(synonyms)
+    return clusters
+
+
+def generate_imdb_scenario(
+    size: Optional[ScenarioSize] = None,
+    seed: int = 13,
+    with_title: bool = True,
+    reviews_per_movie: int = 2,
+    kb_noise_per_entity: int = 12,
+) -> MatchingScenario:
+    """Generate the IMDb text-to-data scenario.
+
+    Parameters
+    ----------
+    size:
+        Scenario size (number of movies); defaults to ``ScenarioSize.small``.
+    seed:
+        RNG seed — the same seed always produces the same world.
+    with_title:
+        True for the WT variant; False drops the title attribute (NT).
+    reviews_per_movie:
+        Reviews generated per movie (the paper has two).
+    kb_noise_per_entity:
+        Irrelevant DBpedia-style facts per popular entity.
+    """
+    size = size or ScenarioSize.small()
+    rng = ensure_rng(seed)
+    movies = _sample_movies(size, rng)
+    table = _movies_table(movies, name="imdb_wt" if with_title else "imdb_nt")
+    if not with_title:
+        table = table.drop_columns(["title"], name="imdb_nt")
+
+    reviews = TextCorpus(name="imdb_reviews")
+    gold: Dict[str, Set[str]] = {}
+    review_index = 0
+    for movie in movies:
+        for _ in range(reviews_per_movie):
+            doc_id = f"r{review_index:05d}"
+            review_index += 1
+            reviews.add_text(doc_id, _review_text(movie, rng), movie_id=movie.movie_id)
+            gold[doc_id] = {movie.movie_id}
+
+    kb = _build_kb(movies, rng, noise_per_entity=kb_noise_per_entity)
+    scenario = MatchingScenario(
+        name="imdb_wt" if with_title else "imdb_nt",
+        task="text-to-data",
+        first=reviews,
+        second=table,
+        gold=gold,
+        kb=kb,
+        synonym_clusters=_synonym_clusters(movies),
+        general_vocabulary=list(vocab.GENERAL_ENGLISH) + list(vocab.GENRES),
+        extras={"movies": len(movies), "with_title": with_title},
+    )
+    scenario.validate()
+    return scenario

@@ -1,0 +1,36 @@
+"""Registry of scenario generators, keyed by the names used in the paper."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.datasets.audit import generate_audit_scenario
+from repro.datasets.base import MatchingScenario, ScenarioSize
+from repro.datasets.claims import generate_politifact_scenario, generate_snopes_scenario
+from repro.datasets.corona import generate_corona_scenario
+from repro.datasets.imdb import generate_imdb_scenario
+from repro.datasets.sts import generate_sts_scenario
+
+SCENARIO_GENERATORS: Dict[str, Callable[..., MatchingScenario]] = {
+    "imdb_wt": lambda size=None, seed=13: generate_imdb_scenario(size=size, seed=seed, with_title=True),
+    "imdb_nt": lambda size=None, seed=13: generate_imdb_scenario(size=size, seed=seed, with_title=False),
+    "corona_gen": lambda size=None, seed=29: generate_corona_scenario(size=size, seed=seed, user_style=False),
+    "corona_usr": lambda size=None, seed=29: generate_corona_scenario(size=size, seed=seed, user_style=True),
+    "audit": lambda size=None, seed=47: generate_audit_scenario(size=size, seed=seed),
+    "snopes": lambda size=None, seed=59: generate_snopes_scenario(size=size, seed=seed),
+    "politifact": lambda size=None, seed=61: generate_politifact_scenario(size=size, seed=seed),
+    "sts_k2": lambda size=None, seed=71: generate_sts_scenario(size=size, seed=seed, threshold=2),
+    "sts_k3": lambda size=None, seed=71: generate_sts_scenario(size=size, seed=seed, threshold=3),
+}
+
+
+def generate_scenario(
+    name: str, size: Optional[ScenarioSize] = None, seed: Optional[int] = None
+) -> MatchingScenario:
+    """Generate a scenario by name (see :data:`SCENARIO_GENERATORS`)."""
+    if name not in SCENARIO_GENERATORS:
+        raise KeyError(f"unknown scenario {name!r}; available: {sorted(SCENARIO_GENERATORS)}")
+    generator = SCENARIO_GENERATORS[name]
+    if seed is None:
+        return generator(size=size)
+    return generator(size=size, seed=seed)

@@ -1,0 +1,154 @@
+"""Synthetic STS scenario (Table VI): sentence pairs with graded similarity.
+
+The STS GLUE task scores sentence pairs from 0 (unrelated) to 5 (equivalent).
+The paper uses it as a retrieval task: a pair is a true match when its score
+is at least ``k`` (they report k=2 and k=3).  The generator emits sentence
+pairs whose surface overlap is controlled by the target score, so that the
+threshold semantics carry over:
+
+* score 5 — same content words, different order / determiner;
+* score 4 — one content word replaced by a near-synonym;
+* score 3 — same actors, different action or place;
+* score 2 — same topic noun only;
+* score 0-1 — unrelated sentences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.corpus.documents import TextCorpus
+from repro.datasets.base import MatchingScenario, ScenarioSize
+from repro.datasets import vocabularies as vocab
+from repro.kb.conceptnet import build_concept_kb
+from repro.utils.rng import ensure_rng
+
+_NEAR_SYNONYMS: Dict[str, str] = {
+    "small": "little",
+    "large": "big",
+    "running": "sprinting",
+    "jumping": "leaping",
+    "playing": "practicing",
+    "eating": "chewing",
+    "walking": "strolling",
+    "dog": "puppy",
+    "cat": "kitten",
+    "man": "guy",
+    "woman": "lady",
+    "child": "kid",
+}
+
+
+@dataclass
+class _Sentence:
+    adjective: str
+    noun: str
+    verb: str
+    place: str
+
+    def render(self) -> str:
+        return f"a {self.adjective} {self.noun} is {self.verb} in the {self.place}"
+
+
+def _random_sentence(rng) -> _Sentence:
+    return _Sentence(
+        adjective=str(rng.choice(vocab.STS_ADJECTIVES)),
+        noun=str(rng.choice(vocab.STS_NOUNS)),
+        verb=str(rng.choice(vocab.STS_VERBS)),
+        place=str(rng.choice(vocab.STS_PLACES)),
+    )
+
+
+def _variant(sentence: _Sentence, score: int, rng) -> _Sentence:
+    """A second sentence whose similarity to ``sentence`` matches ``score``."""
+    if score >= 5:
+        return _Sentence(sentence.adjective, sentence.noun, sentence.verb, sentence.place)
+    if score == 4:
+        noun = _NEAR_SYNONYMS.get(sentence.noun, sentence.noun)
+        verb = _NEAR_SYNONYMS.get(sentence.verb, sentence.verb)
+        return _Sentence(sentence.adjective, noun, verb, sentence.place)
+    if score == 3:
+        return _Sentence(
+            sentence.adjective,
+            sentence.noun,
+            str(rng.choice(vocab.STS_VERBS)),
+            str(rng.choice(vocab.STS_PLACES)),
+        )
+    if score == 2:
+        return _Sentence(
+            str(rng.choice(vocab.STS_ADJECTIVES)),
+            sentence.noun,
+            str(rng.choice(vocab.STS_VERBS)),
+            str(rng.choice(vocab.STS_PLACES)),
+        )
+    return _random_sentence(rng)
+
+
+def generate_sts_scenario(
+    size: Optional[ScenarioSize] = None,
+    seed: int = 71,
+    threshold: int = 2,
+) -> MatchingScenario:
+    """Generate the STS retrieval scenario for a match threshold ``k``.
+
+    Pairs with gold similarity >= ``threshold`` are true matches; pairs below
+    it only contribute their right-hand sentence as a distractor candidate.
+    """
+    if not 0 <= threshold <= 5:
+        raise ValueError("threshold must be between 0 and 5")
+    size = size or ScenarioSize.small()
+    rng = ensure_rng(seed)
+
+    first = TextCorpus(name="sts_left")
+    second = TextCorpus(name="sts_right")
+    gold: Dict[str, Set[str]] = {}
+    pair_scores: Dict[str, int] = {}
+
+    n_pairs = size.n_queries
+    for i in range(n_pairs):
+        score = int(rng.integers(0, 6))
+        left = _random_sentence(rng)
+        right = _variant(left, score, rng)
+        left_id = f"l{i:05d}"
+        right_id = f"r{i:05d}"
+        first.add_text(left_id, left.render())
+        second.add_text(right_id, right.render())
+        pair_scores[left_id] = score
+        if score >= threshold:
+            gold[left_id] = {right_id}
+
+    # Only annotated queries take part in the evaluation (like the paper,
+    # which filters pairs by the threshold); unannotated left sentences stay
+    # in the corpus as additional graph context.
+    synonym_clusters = {f"syn::{a}": [a, b] for a, b in _NEAR_SYNONYMS.items()}
+    kb = build_concept_kb(
+        {**{f"syn::{a}": [a, b] for a, b in _NEAR_SYNONYMS.items()},
+         "animals": ["dog", "cat", "horse", "bird", "puppy", "kitten"],
+         "people": ["man", "woman", "child", "guy", "lady", "kid"]},
+        noise_terms=vocab.GENERAL_ENGLISH,
+        noise_relations=20,
+        seed=rng,
+        name="conceptnet-sts",
+    )
+
+    scenario = MatchingScenario(
+        name=f"sts_k{threshold}",
+        task="text-to-text",
+        first=first,
+        second=second,
+        gold=gold,
+        kb=kb,
+        synonym_clusters=synonym_clusters,
+        general_vocabulary=(
+            list(vocab.GENERAL_ENGLISH)
+            + vocab.STS_NOUNS
+            + vocab.STS_VERBS
+            + vocab.STS_ADJECTIVES
+            + vocab.STS_PLACES
+            + list(_NEAR_SYNONYMS.values())
+        ),
+        extras={"threshold": threshold, "pair_scores": pair_scores},
+    )
+    scenario.validate()
+    return scenario

@@ -1,0 +1,199 @@
+"""Word lists used by the synthetic scenario generators.
+
+These lists define the "world" the generators draw from: person names,
+movie-title words, genres, countries, audit concepts, claim topics, and a
+general English vocabulary.  Keeping them in one module makes the overlap
+structure between corpora explicit and auditable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+FIRST_NAMES: List[str] = [
+    "bruce", "quentin", "samuel", "uma", "john", "mary", "sofia", "david",
+    "emma", "lucas", "olivia", "noah", "ava", "liam", "mia", "ethan",
+    "isabella", "james", "charlotte", "benjamin", "amelia", "henry", "luna",
+    "alex", "grace", "daniel", "chloe", "matthew", "zoe", "ryan", "nora",
+    "kate", "peter", "laura", "martin", "helen", "oscar", "iris", "victor",
+    "nina",
+]
+
+LAST_NAMES: List[str] = [
+    "willis", "tarantino", "jackson", "thurman", "shyamalan", "travolta",
+    "anderson", "bergman", "kurosawa", "miyazaki", "nolan", "bigelow",
+    "cameron", "spielberg", "scott", "fincher", "villeneuve", "gerwig",
+    "coppola", "kubrick", "hitchcock", "wilder", "leone", "ford", "hawks",
+    "altman", "lumet", "demme", "mann", "lee", "chan", "kaur", "novak",
+    "petrov", "garcia", "rossi", "muller", "dubois", "silva", "tanaka",
+]
+
+TITLE_WORDS: List[str] = [
+    "sixth", "sense", "pulp", "fiction", "shadow", "river", "midnight",
+    "garden", "silent", "storm", "crimson", "tide", "golden", "empire",
+    "broken", "arrow", "hidden", "fortress", "lost", "horizon", "winter",
+    "light", "glass", "tower", "paper", "moon", "velvet", "sky", "iron",
+    "harvest", "electric", "dreams", "distant", "voices", "burning",
+    "plain", "violet", "hour", "savage", "grace", "quiet", "earth",
+    "hollow", "crown", "scarlet", "street", "emerald", "forest",
+]
+
+GENRES: List[str] = [
+    "drama", "comedy", "thriller", "horror", "romance", "action",
+    "adventure", "mystery", "crime", "fantasy", "war", "western",
+    "animation", "documentary", "musical", "noir",
+]
+
+GENRE_SYNONYMS: Dict[str, List[str]] = {
+    "comedy": ["comedy", "comedic", "funny", "humorous"],
+    "drama": ["drama", "dramatic", "tragedy"],
+    "thriller": ["thriller", "suspense", "tense"],
+    "horror": ["horror", "scary", "terrifying"],
+    "romance": ["romance", "romantic", "love"],
+    "action": ["action", "explosive", "adrenaline"],
+    "crime": ["crime", "criminal", "heist"],
+    "mystery": ["mystery", "enigmatic", "puzzle"],
+}
+
+REVIEW_OPINIONS: List[str] = [
+    "a masterpiece that rewards patience",
+    "an uneven but fascinating picture",
+    "one of the finest films of its decade",
+    "a disappointing follow up to earlier work",
+    "a gripping story told with confidence",
+    "visually stunning and emotionally hollow",
+    "an instant classic with unforgettable scenes",
+    "slow to start but devastating by the end",
+    "a crowd pleaser with sharp dialogue",
+    "overlong yet strangely compelling",
+    "carried entirely by its lead performance",
+    "a bold experiment that mostly succeeds",
+]
+
+REVIEW_FILLER: List[str] = [
+    "the screenplay balances wit and menace throughout",
+    "the score swells at exactly the right moments",
+    "cinematography turns the city into a character",
+    "the pacing drags in the middle act",
+    "supporting cast members steal several scenes",
+    "the editing keeps the tension razor sharp",
+    "production design is meticulous in every frame",
+    "the ending divides audiences to this day",
+    "dialogue crackles with nervous energy",
+    "the premise is familiar but the execution is fresh",
+]
+
+COUNTRIES: List[str] = [
+    "united states", "china", "italy", "spain", "france", "germany",
+    "brazil", "india", "russia", "iran", "turkey", "mexico", "peru",
+    "chile", "canada", "belgium", "netherlands", "portugal", "sweden",
+    "norway", "japan", "south korea", "australia", "egypt", "nigeria",
+    "south africa", "argentina", "colombia", "poland", "austria",
+]
+
+COUNTRY_VARIANTS: Dict[str, List[str]] = {
+    "united states": ["united states", "us", "usa", "america"],
+    "china": ["china", "prc"],
+    "united kingdom": ["united kingdom", "uk", "britain"],
+    "south korea": ["south korea", "korea"],
+    "russia": ["russia", "russian federation"],
+}
+
+MONTHS: List[str] = [
+    "january", "february", "march", "april", "may", "june", "july",
+    "august", "september", "october", "november", "december",
+]
+
+COVID_METRICS: List[str] = [
+    "new cases", "total cases", "new deaths", "total deaths",
+    "new tests", "total tests", "hospitalized patients", "icu patients",
+]
+
+AUDIT_CONCEPTS: Dict[str, List[str]] = {
+    "audit planning": ["planning", "scoping", "materiality", "timeline", "engagement"],
+    "risk assessment": ["risk", "likelihood", "impact", "register", "exposure"],
+    "internal controls": ["controls", "segregation", "authorization", "reconciliation"],
+    "compliance": ["compliance", "regulation", "standards", "iso", "policy"],
+    "financial reporting": ["financial", "statement", "disclosure", "ledger", "balance"],
+    "evidence collection": ["evidence", "sampling", "documentation", "workpaper"],
+    "quality review": ["quality", "review", "supervision", "signoff"],
+    "fraud detection": ["fraud", "misstatement", "irregularity", "whistleblower"],
+    "it systems audit": ["systems", "access", "logs", "backup", "cybersecurity"],
+    "inventory audit": ["inventory", "stock", "count", "valuation", "warehouse"],
+    "procurement audit": ["procurement", "vendor", "tender", "contract", "invoice"],
+    "continuous improvement": ["improvement", "pdca", "plan", "check", "act"],
+}
+
+AUDIT_FILLER: List[str] = [
+    "the team documented each step in the shared workpapers",
+    "findings were escalated to the engagement partner",
+    "management provided representations during the closing meeting",
+    "the checklist follows the firm wide methodology",
+    "walkthroughs confirmed the described process",
+    "exceptions were logged for follow up in the next cycle",
+    "the auditor traced the sample back to source documents",
+    "thresholds were agreed with the client before fieldwork",
+]
+
+CLAIM_TOPICS: Dict[str, List[str]] = {
+    "vaccines": ["vaccine", "dose", "immunity", "trial", "efficacy"],
+    "elections": ["ballot", "vote", "turnout", "fraud", "recount"],
+    "economy": ["unemployment", "inflation", "wages", "deficit", "tariff"],
+    "climate": ["emissions", "temperature", "carbon", "glacier", "drought"],
+    "health": ["hospital", "insurance", "medicare", "prescription", "obesity"],
+    "immigration": ["border", "visa", "asylum", "deportation", "refugee"],
+    "crime": ["homicide", "burglary", "sentencing", "parole", "police"],
+    "education": ["tuition", "literacy", "graduation", "teacher", "curriculum"],
+    "energy": ["pipeline", "solar", "wind", "nuclear", "gasoline"],
+    "taxes": ["income", "corporate", "refund", "bracket", "loophole"],
+}
+
+CLAIM_VERBS: List[str] = [
+    "claims", "says", "reports", "states", "argues", "announced",
+    "suggested", "confirmed", "denied", "estimated",
+]
+
+GENERAL_ENGLISH: List[str] = [
+    "people", "year", "time", "government", "country", "number", "percent",
+    "increase", "decrease", "report", "study", "million", "billion",
+    "city", "state", "world", "public", "private", "national", "federal",
+    "company", "market", "price", "cost", "money", "health", "school",
+    "water", "food", "energy", "power", "law", "court", "president",
+    "minister", "policy", "program", "system", "service", "family",
+    "children", "women", "men", "worker", "job", "industry", "growth",
+    "rate", "level", "change", "problem", "issue", "question", "answer",
+    "result", "effect", "cause", "reason", "way", "day", "week", "month",
+    "history", "future", "past", "present", "group", "member", "leader",
+    "movie", "film", "director", "actor", "actress", "story", "scene",
+    "character", "plot", "audience", "critic", "review", "performance",
+    "planning", "plan", "check", "act", "management", "process", "audit",
+    "cases", "deaths", "tests", "patients", "hospital", "virus", "spread",
+]
+
+STS_TEMPLATES: List[str] = [
+    "a {adj} {noun} is {verb} in the {place}",
+    "the {noun} {verb} near the {place}",
+    "{count} {noun}s are {verb} at the {place}",
+    "a {noun} and a {noun2} are {verb} together",
+    "the {adj} {noun} {verb} slowly",
+]
+
+STS_NOUNS: List[str] = [
+    "dog", "cat", "man", "woman", "child", "horse", "bird", "car",
+    "train", "boat", "guitar", "piano", "ball", "plane", "bicycle",
+]
+
+STS_VERBS: List[str] = [
+    "running", "jumping", "playing", "sleeping", "eating", "walking",
+    "swimming", "singing", "dancing", "riding",
+]
+
+STS_ADJECTIVES: List[str] = [
+    "small", "large", "young", "old", "brown", "white", "black", "happy",
+    "quiet", "fast",
+]
+
+STS_PLACES: List[str] = [
+    "park", "street", "field", "beach", "kitchen", "garden", "river",
+    "stadium", "forest", "station",
+]

@@ -1,0 +1,164 @@
+"""Doc2Vec (DBOW) on numpy — the D2VEC baseline of the paper.
+
+In the distributed bag-of-words variant, the *document* vector is trained to
+predict the tokens of the document with negative sampling; word output
+vectors are shared across documents.  The paper uses DBOW with 300
+dimensions; the reproduction defaults to 96 (see Word2VecConfig note).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.embeddings.vocab import Vocabulary
+from repro.utils.rng import ensure_rng
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -20.0, 20.0)))
+
+
+@dataclass
+class Doc2VecConfig:
+    """Hyper-parameters of the DBOW model."""
+
+    vector_size: int = 96
+    negative: int = 5
+    epochs: int = 10
+    learning_rate: float = 0.025
+    min_learning_rate: float = 0.0001
+    min_count: int = 1
+    batch_size: int = 512
+
+    def __post_init__(self) -> None:
+        if self.vector_size < 1:
+            raise ValueError("vector_size must be >= 1")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.negative < 1:
+            raise ValueError("negative must be >= 1")
+
+
+class Doc2Vec:
+    """DBOW document embeddings with negative sampling."""
+
+    def __init__(self, config: Optional[Doc2VecConfig] = None, seed=None):
+        self.config = config or Doc2VecConfig()
+        self._rng = ensure_rng(seed)
+        self.vocab: Optional[Vocabulary] = None
+        self._doc_ids: List[str] = []
+        self._doc_index: Dict[str, int] = {}
+        self._doc_vectors: Optional[np.ndarray] = None
+        self._word_output: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def train(self, documents: Dict[str, Sequence[str]]) -> "Doc2Vec":
+        """Train on ``documents``: mapping doc id → token list."""
+        documents = {k: list(v) for k, v in documents.items() if v}
+        if not documents:
+            raise ValueError("cannot train on an empty document set")
+        self.vocab = Vocabulary.from_sentences(documents.values(), min_count=self.config.min_count)
+        if len(self.vocab) == 0:
+            raise ValueError("vocabulary is empty after applying min_count")
+
+        self._doc_ids = list(documents)
+        self._doc_index = {doc_id: i for i, doc_id in enumerate(self._doc_ids)}
+
+        dim = self.config.vector_size
+        n_docs = len(self._doc_ids)
+        vocab_size = len(self.vocab)
+        self._doc_vectors = (self._rng.random((n_docs, dim)) - 0.5) / dim
+        self._word_output = np.zeros((vocab_size, dim), dtype=np.float64)
+
+        doc_idx: List[int] = []
+        word_idx: List[int] = []
+        for doc_id, tokens in documents.items():
+            d = self._doc_index[doc_id]
+            for token_id in self.vocab.encode(tokens):
+                doc_idx.append(d)
+                word_idx.append(token_id)
+        if not doc_idx:
+            raise ValueError("no (document, token) pair is in vocabulary")
+        doc_arr = np.asarray(doc_idx, dtype=np.int64)
+        word_arr = np.asarray(word_idx, dtype=np.int64)
+
+        neg_dist = self.vocab.negative_sampling_distribution()
+        n_pairs = doc_arr.size
+        total_steps = self.config.epochs * n_pairs
+        step = 0
+        for _epoch in range(self.config.epochs):
+            order = self._rng.permutation(n_pairs)
+            for start in range(0, n_pairs, self.config.batch_size):
+                batch = order[start : start + self.config.batch_size]
+                progress = step / max(total_steps, 1)
+                lr = max(
+                    self.config.min_learning_rate,
+                    self.config.learning_rate * (1.0 - progress),
+                )
+                self._update(doc_arr[batch], word_arr[batch], neg_dist, lr)
+                step += batch.size
+        return self
+
+    def _update(self, docs, words, neg_dist, lr) -> None:
+        d_vecs = self._doc_vectors[docs]
+        pos_vecs = self._word_output[words]
+        batch = docs.size
+        k = self.config.negative
+        negatives = self._rng.choice(len(neg_dist), size=(batch, k), p=neg_dist)
+        neg_vecs = self._word_output[negatives]
+
+        pos_scores = _sigmoid(np.einsum("bd,bd->b", d_vecs, pos_vecs))
+        neg_scores = _sigmoid(np.einsum("bkd,bd->bk", neg_vecs, d_vecs))
+
+        pos_grad = (pos_scores - 1.0)[:, None]
+        grad_doc = pos_grad * pos_vecs + np.einsum("bk,bkd->bd", neg_scores, neg_vecs)
+        grad_pos = pos_grad * d_vecs
+        grad_neg = neg_scores[:, :, None] * d_vecs[:, None, :]
+
+        np.add.at(self._doc_vectors, docs, -lr * grad_doc)
+        np.add.at(self._word_output, words, -lr * grad_pos)
+        np.add.at(self._word_output, negatives.reshape(-1), -lr * grad_neg.reshape(batch * k, -1))
+
+    # ------------------------------------------------------------------
+    def document_vector(self, doc_id: str) -> Optional[np.ndarray]:
+        """The learned vector of a training document."""
+        if self._doc_vectors is None:
+            raise RuntimeError("model is not trained")
+        idx = self._doc_index.get(doc_id)
+        if idx is None:
+            return None
+        return self._doc_vectors[idx]
+
+    def infer_vector(self, tokens: Sequence[str], epochs: int = 15) -> np.ndarray:
+        """Infer a vector for an unseen document by gradient descent.
+
+        The word output vectors stay frozen; only the new document vector is
+        optimised, exactly as gensim's ``infer_vector``.
+        """
+        if self.vocab is None or self._word_output is None:
+            raise RuntimeError("model is not trained")
+        dim = self.config.vector_size
+        vec = (self._rng.random(dim) - 0.5) / dim
+        word_ids = self.vocab.encode(list(tokens))
+        if not word_ids:
+            return vec
+        neg_dist = self.vocab.negative_sampling_distribution()
+        words = np.asarray(word_ids, dtype=np.int64)
+        for epoch in range(epochs):
+            lr = max(self.config.min_learning_rate, self.config.learning_rate * (1 - epoch / epochs))
+            pos_vecs = self._word_output[words]
+            pos_scores = _sigmoid(pos_vecs @ vec)
+            negatives = self._rng.choice(len(neg_dist), size=(words.size, self.config.negative), p=neg_dist)
+            neg_vecs = self._word_output[negatives]
+            neg_scores = _sigmoid(np.einsum("bkd,d->bk", neg_vecs, vec))
+            grad = ((pos_scores - 1.0)[:, None] * pos_vecs).sum(axis=0)
+            grad += np.einsum("bk,bkd->d", neg_scores, neg_vecs)
+            vec -= lr * grad / max(words.size, 1)
+        return vec
+
+    @property
+    def document_ids(self) -> List[str]:
+        return list(self._doc_ids)

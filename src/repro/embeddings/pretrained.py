@@ -1,0 +1,174 @@
+"""Synthetic pre-trained word embeddings.
+
+The paper uses two kinds of pre-trained resources:
+
+* **Wikipedia2Vec** for merging data nodes that are name variants, synonyms,
+  acronyms, or typos of each other (Section II-C), with a cosine threshold
+  γ calibrated on WordNet synonym pairs;
+* large general-purpose sentence encoders (SentenceBERT) as an unsupervised
+  baseline.
+
+Neither resource is available offline, so this module builds a deterministic
+stand-in with the properties the paper relies on:
+
+* vectors are composed of a word-identity component, a bag of character
+  n-gram components (so misspellings and name variants such as ``willis``
+  vs ``b. willis`` land close together), and an optional *semantic cluster*
+  component shared by all members of a synonym cluster;
+* tokens that belong to the supplied "general vocabulary" get a strong
+  semantic component, while out-of-vocabulary, domain-specific terms fall
+  back to character information only — mirroring the fact that pre-trained
+  resources model common words well and domain jargon poorly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import stable_hash
+
+
+def _unit(vector: np.ndarray) -> np.ndarray:
+    norm = np.linalg.norm(vector)
+    if norm == 0:
+        return vector
+    return vector / norm
+
+
+def _hash_vector(key: str, dim: int, scale: float = 1.0) -> np.ndarray:
+    """A deterministic pseudo-random unit vector for ``key``."""
+    rng = np.random.default_rng(stable_hash(key, modulus=2**32))
+    return scale * _unit(rng.standard_normal(dim))
+
+
+def _char_ngrams(token: str, n_min: int = 3, n_max: int = 4) -> List[str]:
+    padded = f"<{token}>"
+    grams = []
+    for n in range(n_min, n_max + 1):
+        for i in range(max(len(padded) - n + 1, 0)):
+            grams.append(padded[i : i + n])
+    return grams
+
+
+@dataclass
+class PretrainedEmbeddings:
+    """A frozen word-embedding table with compositional fallback.
+
+    Attributes
+    ----------
+    dim:
+        Vector dimensionality.
+    cluster_of:
+        Token → synonym-cluster name; all tokens of a cluster share a strong
+        semantic component.
+    general_vocabulary:
+        Tokens considered "common" — they receive a word-identity semantic
+        component even without a cluster, while unknown domain terms rely on
+        character n-grams only.
+    """
+
+    dim: int = 64
+    cluster_of: Dict[str, str] = field(default_factory=dict)
+    general_vocabulary: set = field(default_factory=set)
+    cluster_weight: float = 1.5
+    term_cluster_weight: float = 0.9
+    word_weight: float = 1.0
+    char_weight: float = 0.8
+    _cache: Dict[str, np.ndarray] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    def vector(self, term: str) -> Optional[np.ndarray]:
+        """The vector of ``term`` (single- or multi-token), or None if empty."""
+        term = term.strip().lower()
+        if not term:
+            return None
+        cached = self._cache.get(term)
+        if cached is not None:
+            return cached
+        tokens = term.split()
+        token_vectors = [self._token_vector(t) for t in tokens]
+        token_vectors = [v for v in token_vectors if v is not None]
+        if not token_vectors:
+            return None
+        vec = np.mean(np.stack(token_vectors), axis=0)
+        # Multi-word entities listed in a synonym cluster ("bruce willis",
+        # "b willis") share a term-level cluster component in addition to
+        # their token components, mirroring entity-level embeddings such as
+        # Wikipedia2Vec where name variants map near the canonical entity.
+        term_cluster = self.cluster_of.get(term)
+        if term_cluster is not None and len(tokens) > 1:
+            vec = vec + self.term_cluster_weight * _hash_vector(f"cluster::{term_cluster}", self.dim)
+        vec = _unit(vec)
+        self._cache[term] = vec
+        return vec
+
+    def __contains__(self, term: str) -> bool:
+        return self.vector(term) is not None
+
+    def similarity(self, a: str, b: str) -> float:
+        va, vb = self.vector(a), self.vector(b)
+        if va is None or vb is None:
+            return 0.0
+        return float(np.dot(va, vb))
+
+    # ------------------------------------------------------------------
+    def _token_vector(self, token: str) -> Optional[np.ndarray]:
+        if not token:
+            return None
+        parts: List[np.ndarray] = []
+        cluster = self.cluster_of.get(token)
+        if cluster is not None:
+            parts.append(self.cluster_weight * _hash_vector(f"cluster::{cluster}", self.dim))
+        if token in self.general_vocabulary or cluster is not None:
+            parts.append(self.word_weight * _hash_vector(f"word::{token}", self.dim))
+        grams = _char_ngrams(token)
+        if grams:
+            gram_vec = np.mean(
+                np.stack([_hash_vector(f"char::{g}", self.dim) for g in grams]), axis=0
+            )
+            parts.append(self.char_weight * gram_vec)
+        if not parts:
+            parts.append(self.word_weight * _hash_vector(f"word::{token}", self.dim))
+        return _unit(np.sum(np.stack(parts), axis=0))
+
+
+def build_synthetic_pretrained(
+    synonym_clusters: Optional[Mapping[str, Sequence[str]]] = None,
+    general_vocabulary: Optional[Iterable[str]] = None,
+    dim: int = 64,
+) -> PretrainedEmbeddings:
+    """Build a :class:`PretrainedEmbeddings` resource.
+
+    Parameters
+    ----------
+    synonym_clusters:
+        Mapping cluster name → list of member tokens; members end up close
+        in the space (used to calibrate γ and to merge synonyms/acronyms).
+    general_vocabulary:
+        The "common English" tokens that the resource models well.
+    dim:
+        Vector dimensionality.
+    """
+    cluster_of: Dict[str, str] = {}
+    if synonym_clusters:
+        for cluster, members in synonym_clusters.items():
+            for member in members:
+                cluster_of[member.lower()] = cluster
+    vocab = {t.lower() for t in general_vocabulary} if general_vocabulary else set()
+    return PretrainedEmbeddings(dim=dim, cluster_of=cluster_of, general_vocabulary=vocab)
+
+
+def synonym_pairs_from_clusters(
+    synonym_clusters: Mapping[str, Sequence[str]],
+) -> List[Tuple[str, str]]:
+    """All within-cluster token pairs — the calibration set for γ."""
+    pairs: List[Tuple[str, str]] = []
+    for members in synonym_clusters.values():
+        members = list(members)
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                pairs.append((members[i], members[j]))
+    return pairs

@@ -1,0 +1,54 @@
+"""Cosine similarity and top-k retrieval over embedding matrices."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity between two vectors (0 when either is zero)."""
+    denom = float(np.linalg.norm(a) * np.linalg.norm(b))
+    if denom == 0.0:
+        return 0.0
+    return float(np.dot(a, b) / denom)
+
+
+def normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """L2-normalise each row; zero rows stay zero."""
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    return matrix / norms
+
+
+def cosine_matrix(queries: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+    """Pairwise cosine similarity: (n_queries, n_candidates)."""
+    if queries.ndim != 2 or candidates.ndim != 2:
+        raise ValueError("cosine_matrix expects 2-D arrays")
+    if queries.shape[1] != candidates.shape[1]:
+        raise ValueError("query and candidate dimensionality differ")
+    return normalize_rows(queries) @ normalize_rows(candidates).T
+
+
+def top_k_neighbors(
+    similarities: np.ndarray, k: int, candidate_ids: Sequence[str]
+) -> List[List[Tuple[str, float]]]:
+    """Top-k candidates per query row of a similarity matrix.
+
+    Returns, for every query, a list of (candidate id, score) sorted by
+    decreasing score; ties are broken by candidate order for determinism.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if similarities.ndim != 2:
+        raise ValueError("similarities must be a 2-D matrix")
+    if similarities.shape[1] != len(candidate_ids):
+        raise ValueError("candidate_ids length must match matrix width")
+    k = min(k, similarities.shape[1])
+    results: List[List[Tuple[str, float]]] = []
+    for row in similarities:
+        # argsort on (-score, index) for deterministic tie handling
+        order = np.lexsort((np.arange(row.size), -row))[:k]
+        results.append([(candidate_ids[i], float(row[i])) for i in order])
+    return results

@@ -1,0 +1,114 @@
+"""Vocabulary for the embedding models.
+
+Maps tokens to contiguous integer ids, keeps frequency counts, and builds
+the unigram^0.75 distribution used by negative sampling.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+class Vocabulary:
+    """Token ↔ id mapping with counts and a negative-sampling distribution."""
+
+    def __init__(self, min_count: int = 1):
+        if min_count < 1:
+            raise ValueError("min_count must be >= 1")
+        self.min_count = min_count
+        self._token_to_id: Dict[str, int] = {}
+        self._id_to_token: List[str] = []
+        self._counts: List[int] = []
+        self._frozen = False
+        self._neg_table: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sentences(cls, sentences: Iterable[Sequence[str]], min_count: int = 1) -> "Vocabulary":
+        """Build a vocabulary from tokenised sentences."""
+        counter: Counter = Counter()
+        for sentence in sentences:
+            counter.update(sentence)
+        vocab = cls(min_count=min_count)
+        # Sort by (-count, token) so the id assignment is deterministic.
+        for token, count in sorted(counter.items(), key=lambda kv: (-kv[1], kv[0])):
+            if count >= min_count:
+                vocab._add(token, count)
+        vocab.freeze()
+        return vocab
+
+    def _add(self, token: str, count: int) -> int:
+        if self._frozen:
+            raise RuntimeError("vocabulary is frozen")
+        if token in self._token_to_id:
+            idx = self._token_to_id[token]
+            self._counts[idx] += count
+            return idx
+        idx = len(self._id_to_token)
+        self._token_to_id[token] = idx
+        self._id_to_token.append(token)
+        self._counts.append(count)
+        return idx
+
+    def freeze(self) -> None:
+        self._frozen = True
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def id_of(self, token: str) -> Optional[int]:
+        return self._token_to_id.get(token)
+
+    def token_of(self, idx: int) -> str:
+        return self._id_to_token[idx]
+
+    def count_of(self, token: str) -> int:
+        idx = self._token_to_id.get(token)
+        return self._counts[idx] if idx is not None else 0
+
+    @property
+    def tokens(self) -> List[str]:
+        return list(self._id_to_token)
+
+    def counts_array(self) -> np.ndarray:
+        return np.asarray(self._counts, dtype=np.float64)
+
+    def encode(self, sentence: Sequence[str]) -> List[int]:
+        """Map a sentence to ids, dropping out-of-vocabulary tokens."""
+        out = []
+        for token in sentence:
+            idx = self._token_to_id.get(token)
+            if idx is not None:
+                out.append(idx)
+        return out
+
+    # ------------------------------------------------------------------
+    def negative_sampling_distribution(self, power: float = 0.75) -> np.ndarray:
+        """Unigram distribution raised to ``power`` and normalised."""
+        counts = self.counts_array()
+        if counts.size == 0:
+            raise ValueError("empty vocabulary")
+        weights = counts ** power
+        return weights / weights.sum()
+
+    def subsample_keep_probabilities(self, threshold: float = 1e-3) -> np.ndarray:
+        """Word2Vec frequent-word subsampling keep probabilities.
+
+        keep(w) = min(1, sqrt(t / f(w)) + t / f(w)) with f the corpus
+        frequency of w.
+        """
+        counts = self.counts_array()
+        total = counts.sum()
+        if total == 0:
+            raise ValueError("empty vocabulary")
+        freqs = counts / total
+        with np.errstate(divide="ignore"):
+            keep = np.sqrt(threshold / freqs) + threshold / freqs
+        return np.minimum(keep, 1.0)

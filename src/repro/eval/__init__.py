@@ -1,0 +1,37 @@
+"""Evaluation substrate: ranking metrics and taxonomy path scores."""
+
+from repro.eval.metrics import (
+    average_precision_at_k,
+    evaluate_rankings,
+    has_positive_at_k,
+    mean_average_precision_at_k,
+    mean_reciprocal_rank,
+    reciprocal_rank,
+    RankingReport,
+)
+from repro.eval.taxonomy_metrics import (
+    exact_scores,
+    node_score,
+    node_scores,
+    PrecisionRecallF1,
+)
+from repro.eval.ranking import Ranking, RankingSet
+from repro.eval.report import format_table, format_quality_table
+
+__all__ = [
+    "reciprocal_rank",
+    "mean_reciprocal_rank",
+    "average_precision_at_k",
+    "mean_average_precision_at_k",
+    "has_positive_at_k",
+    "evaluate_rankings",
+    "RankingReport",
+    "exact_scores",
+    "node_score",
+    "node_scores",
+    "PrecisionRecallF1",
+    "Ranking",
+    "RankingSet",
+    "format_table",
+    "format_quality_table",
+]

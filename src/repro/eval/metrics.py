@@ -1,0 +1,124 @@
+"""Ranking quality metrics used throughout the evaluation (Section V).
+
+* **MRR** — mean reciprocal rank of the first correct answer.
+* **MAP@k** — mean average precision truncated at rank k.
+* **HasPositive@k** — fraction of queries with at least one true positive in
+  the top k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Sequence, Set
+
+from repro.eval.ranking import RankingSet
+
+
+def reciprocal_rank(ranked_ids: Sequence[str], relevant: Set[str]) -> float:
+    """1/rank of the first relevant id, or 0 when none is present."""
+    for position, candidate in enumerate(ranked_ids, start=1):
+        if candidate in relevant:
+            return 1.0 / position
+    return 0.0
+
+
+def average_precision_at_k(ranked_ids: Sequence[str], relevant: Set[str], k: int) -> float:
+    """Average precision truncated at rank ``k``.
+
+    Follows the standard formulation: the mean of the precision values at
+    the ranks of the relevant documents retrieved within the top k,
+    normalised by ``min(k, |relevant|)``.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if not relevant:
+        return 0.0
+    hits = 0
+    precision_sum = 0.0
+    for position, candidate in enumerate(ranked_ids[:k], start=1):
+        if candidate in relevant:
+            hits += 1
+            precision_sum += hits / position
+    denom = min(len(relevant), k)
+    return precision_sum / denom if denom else 0.0
+
+
+def has_positive_at_k(ranked_ids: Sequence[str], relevant: Set[str], k: int) -> float:
+    """1.0 when a relevant id appears in the top ``k``, else 0.0."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return 1.0 if any(c in relevant for c in ranked_ids[:k]) else 0.0
+
+
+def _mean(values) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def mean_reciprocal_rank(rankings: Mapping[str, Sequence[str]], gold: Mapping[str, Set[str]]) -> float:
+    """MRR over all queries that have gold annotations."""
+    scores = [
+        reciprocal_rank(rankings.get(qid, []), relevant) for qid, relevant in gold.items()
+    ]
+    return _mean(scores)
+
+
+def mean_average_precision_at_k(
+    rankings: Mapping[str, Sequence[str]], gold: Mapping[str, Set[str]], k: int
+) -> float:
+    """MAP@k over all annotated queries."""
+    scores = [
+        average_precision_at_k(rankings.get(qid, []), relevant, k) for qid, relevant in gold.items()
+    ]
+    return _mean(scores)
+
+
+def mean_has_positive_at_k(
+    rankings: Mapping[str, Sequence[str]], gold: Mapping[str, Set[str]], k: int
+) -> float:
+    """HasPositive@k over all annotated queries."""
+    scores = [
+        has_positive_at_k(rankings.get(qid, []), relevant, k) for qid, relevant in gold.items()
+    ]
+    return _mean(scores)
+
+
+@dataclass
+class RankingReport:
+    """The row format of Tables I, II, IV, V, VI of the paper."""
+
+    method: str
+    mrr: float
+    map_at: Dict[int, float] = field(default_factory=dict)
+    has_positive_at: Dict[int, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, float]:
+        row: Dict[str, float] = {"mrr": self.mrr}
+        for k, value in sorted(self.map_at.items()):
+            row[f"map@{k}"] = value
+        for k, value in sorted(self.has_positive_at.items()):
+            row[f"haspositive@{k}"] = value
+        return row
+
+
+DEFAULT_KS = (1, 5, 20)
+
+
+def evaluate_rankings(
+    method: str,
+    rankings,
+    gold: Mapping[str, Set[str]],
+    ks: Sequence[int] = DEFAULT_KS,
+) -> RankingReport:
+    """Compute the full metric row for one method.
+
+    ``rankings`` may be a :class:`~repro.eval.ranking.RankingSet` or a plain
+    mapping query id → ordered candidate ids.
+    """
+    if isinstance(rankings, RankingSet):
+        rankings = rankings.as_id_lists()
+    report = RankingReport(method=method, mrr=mean_reciprocal_rank(rankings, gold))
+    for k in ks:
+        report.map_at[k] = mean_average_precision_at_k(rankings, gold, k)
+        report.has_positive_at[k] = mean_has_positive_at_k(rankings, gold, k)
+    return report

@@ -1,0 +1,64 @@
+"""Plain-text result tables.
+
+The benchmark harness prints rows in the same shape as the paper's tables;
+these helpers format dictionaries of metric values into aligned monospace
+tables without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = "{:.3f}",
+    title: Optional[str] = None,
+) -> str:
+    """Format ``rows`` (list of dicts) into an aligned text table."""
+    if not rows:
+        return title or ""
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    table = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), max((len(r[i]) for r in table), default=0))
+        for i, col in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in table:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_quality_table(
+    reports,
+    ks: Sequence[int] = (1, 5, 20),
+    title: Optional[str] = None,
+) -> str:
+    """Format :class:`~repro.eval.metrics.RankingReport` objects as a table."""
+    rows: List[Dict[str, object]] = []
+    for report in reports:
+        row: Dict[str, object] = {"method": report.method, "MRR": report.mrr}
+        for k in ks:
+            row[f"MAP@{k}"] = report.map_at.get(k, float("nan"))
+        for k in ks:
+            row[f"HasPos@{k}"] = report.has_positive_at.get(k, float("nan"))
+        rows.append(row)
+    return format_table(rows, title=title)

@@ -1,0 +1,59 @@
+"""Graph substrate: the heterogeneous data/metadata graph of TDmatch.
+
+Modules
+-------
+``graph``
+    Lightweight undirected graph with typed nodes (data vs metadata).
+``builder``
+    Algorithm 1 — joint graph creation over two corpora.
+``filtering``
+    Data-node filtering strategies (Intersect, TF-IDF, none).
+``merging``
+    Node-merging techniques: stemming (applied at preprocessing), numeric
+    bucketing with the Freedman–Diaconis rule, and embedding-based merging.
+``expansion``
+    Algorithm 2 — expansion with an external knowledge resource.
+``compression``
+    Algorithm 3 (MSP) plus the SSP, SSuM-style, and random-sampling baselines.
+``walks``
+    Random-walk corpus generation (walk half of Algorithm 4).
+"""
+
+from repro.graph.graph import MatchGraph, NodeKind
+from repro.graph.builder import GraphBuilder, GraphBuilderConfig
+from repro.graph.filtering import FilterStrategy, IntersectFilter, NoFilter, TfIdfFilter
+from repro.graph.merging import NumericBucketer, EmbeddingMerger, MergeReport
+from repro.graph.expansion import expand_graph, ExpansionResult
+from repro.graph.compression import (
+    CompressionResult,
+    msp_compress,
+    ssp_compress,
+    ssum_compress,
+    random_node_compress,
+    random_edge_compress,
+)
+from repro.graph.walks import RandomWalkConfig, generate_walks
+
+__all__ = [
+    "MatchGraph",
+    "NodeKind",
+    "GraphBuilder",
+    "GraphBuilderConfig",
+    "FilterStrategy",
+    "IntersectFilter",
+    "NoFilter",
+    "TfIdfFilter",
+    "NumericBucketer",
+    "EmbeddingMerger",
+    "MergeReport",
+    "expand_graph",
+    "ExpansionResult",
+    "CompressionResult",
+    "msp_compress",
+    "ssp_compress",
+    "ssum_compress",
+    "random_node_compress",
+    "random_edge_compress",
+    "RandomWalkConfig",
+    "generate_walks",
+]

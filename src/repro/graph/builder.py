@@ -1,0 +1,251 @@
+"""Graph creation over heterogeneous corpora (Algorithm 1 of the paper).
+
+The builder accepts any two corpora among :class:`~repro.corpus.table.Table`,
+:class:`~repro.corpus.documents.TextCorpus`, and
+:class:`~repro.corpus.taxonomy.Taxonomy` and produces a
+:class:`~repro.graph.graph.MatchGraph` in which
+
+* every document of the first corpus becomes a metadata node, plus a
+  metadata node per column when the first corpus is a table, plus
+  metadata-metadata edges for taxonomy parents;
+* data nodes are created for the terms of the documents, subject to the
+  configured :class:`~repro.graph.filtering.FilterStrategy`;
+* every document of the second corpus becomes a metadata node connected to
+  the data nodes of its (retained) terms.
+
+Metadata labels are prefixed (``row::``, ``col::``, ``doc::``, ``concept::``)
+so that a term can never collide with a document identifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.corpus.documents import TextCorpus
+from repro.corpus.table import Table
+from repro.corpus.taxonomy import Taxonomy
+from repro.graph.filtering import FilterStrategy, IntersectFilter, NoFilter
+from repro.graph.graph import MatchGraph, NodeKind
+from repro.text.preprocess import PreprocessConfig, Preprocessor
+
+Corpus = Union[Table, TextCorpus, Taxonomy]
+
+ROW_PREFIX = "row::"
+COLUMN_PREFIX = "col::"
+DOC_PREFIX = "doc::"
+CONCEPT_PREFIX = "concept::"
+
+
+def metadata_label(corpus: Corpus, object_id: str, corpus_name: str = "") -> str:
+    """The metadata-node label used in the graph for ``object_id``."""
+    prefix = DOC_PREFIX
+    if isinstance(corpus, Table):
+        prefix = ROW_PREFIX
+    elif isinstance(corpus, Taxonomy):
+        prefix = CONCEPT_PREFIX
+    qualifier = f"{corpus_name}::" if corpus_name else ""
+    return f"{prefix}{qualifier}{object_id}"
+
+
+def strip_metadata_label(label: str) -> str:
+    """Return the original object id of a metadata label."""
+    for prefix in (ROW_PREFIX, COLUMN_PREFIX, DOC_PREFIX, CONCEPT_PREFIX):
+        if label.startswith(prefix):
+            rest = label[len(prefix):]
+            # drop a corpus qualifier if present
+            if "::" in rest:
+                rest = rest.split("::", 1)[1]
+            return rest
+    return label
+
+
+@dataclass
+class GraphBuilderConfig:
+    """Configuration of graph construction.
+
+    Parameters
+    ----------
+    preprocess:
+        Text pre-processing options (n-gram size, stemming, ...).
+    filter_strategy_name:
+        "intersect" (paper default), "tfidf", or "normal".
+    tfidf_top_k:
+        Top-k terms per document for the TF-IDF filter.
+    connect_structured_metadata:
+        Add edges between related metadata nodes of a structured corpus
+        (taxonomy parent/child); the ablation of Section V-F2 turns this off.
+    add_column_nodes:
+        Create a metadata node per table column (Algorithm 1 lines 5-10).
+    """
+
+    preprocess: PreprocessConfig = field(default_factory=PreprocessConfig)
+    filter_strategy_name: str = "intersect"
+    tfidf_top_k: int = 10
+    connect_structured_metadata: bool = True
+    add_column_nodes: bool = True
+
+    def make_filter(self) -> FilterStrategy:
+        if self.filter_strategy_name == "intersect":
+            return IntersectFilter()
+        if self.filter_strategy_name == "normal":
+            return NoFilter()
+        if self.filter_strategy_name == "tfidf":
+            from repro.graph.filtering import TfIdfFilter
+
+            return TfIdfFilter(top_k=self.tfidf_top_k)
+        raise ValueError(f"unknown filter strategy: {self.filter_strategy_name!r}")
+
+
+@dataclass
+class BuiltGraph:
+    """The output of :class:`GraphBuilder`.
+
+    Attributes
+    ----------
+    graph:
+        The constructed :class:`MatchGraph`.
+    first_metadata / second_metadata:
+        Mapping from original object id to its metadata-node label, for the
+        first and second corpus respectively (documents only; column nodes
+        are not included).
+    """
+
+    graph: MatchGraph
+    first_metadata: Dict[str, str]
+    second_metadata: Dict[str, str]
+
+    def first_labels(self) -> List[str]:
+        return list(self.first_metadata.values())
+
+    def second_labels(self) -> List[str]:
+        return list(self.second_metadata.values())
+
+
+class GraphBuilder:
+    """Builds the joint graph for two corpora (Algorithm 1)."""
+
+    def __init__(self, config: Optional[GraphBuilderConfig] = None):
+        self.config = config or GraphBuilderConfig()
+        self._preprocessor = Preprocessor(self.config.preprocess)
+
+    # ------------------------------------------------------------------
+    def build(self, first: Corpus, second: Corpus) -> BuiltGraph:
+        """Construct the graph over ``first`` and ``second``."""
+        first_terms = self._corpus_terms(first)
+        second_terms = self._corpus_terms(second)
+
+        filter_strategy = self.config.make_filter()
+        filter_strategy.prepare(
+            [terms for _oid, terms in first_terms],
+            [terms for _oid, terms in second_terms],
+        )
+
+        graph = MatchGraph()
+        first_metadata: Dict[str, str] = {}
+        second_metadata: Dict[str, str] = {}
+
+        # ---- first corpus (Algorithm 1, lines 3-25) -------------------
+        for index, (object_id, terms) in enumerate(first_terms):
+            label = metadata_label(first, object_id)
+            role = self._role_of(first)
+            graph.add_node(label, kind=NodeKind.METADATA, corpus="first", role=role)
+            first_metadata[object_id] = label
+            kept = filter_strategy.keep_first(index, terms)
+            column_labels = self._column_labels_for(first, object_id, graph)
+            for term in kept:
+                graph.add_node(term, kind=NodeKind.DATA, corpus="first", role="term")
+                graph.add_edge(label, term)
+                for col_label in column_labels.get(term, ()):  # table only
+                    graph.add_edge(col_label, term)
+
+        if isinstance(first, Taxonomy) and self.config.connect_structured_metadata:
+            self._connect_taxonomy(graph, first, first_metadata)
+
+        # ---- second corpus (Algorithm 1, lines 27-34) ------------------
+        for index, (object_id, terms) in enumerate(second_terms):
+            label = metadata_label(second, object_id)
+            role = self._role_of(second)
+            graph.add_node(label, kind=NodeKind.METADATA, corpus="second", role=role)
+            second_metadata[object_id] = label
+            kept = filter_strategy.keep_second(index, terms)
+            allow_new = self._second_may_create_nodes(filter_strategy)
+            for term in kept:
+                if graph.has_node(term):
+                    graph.add_edge(label, term)
+                elif allow_new:
+                    graph.add_node(term, kind=NodeKind.DATA, corpus="second", role="term")
+                    graph.add_edge(label, term)
+
+        if isinstance(second, Taxonomy) and self.config.connect_structured_metadata:
+            self._connect_taxonomy(graph, second, second_metadata)
+
+        return BuiltGraph(graph=graph, first_metadata=first_metadata, second_metadata=second_metadata)
+
+    # ------------------------------------------------------------------
+    # Corpus-specific term extraction
+    def _corpus_terms(self, corpus: Corpus) -> List[Tuple[str, List[str]]]:
+        """(object id, term list) for every document of ``corpus``."""
+        preprocessor = self._preprocessor
+        result: List[Tuple[str, List[str]]] = []
+        if isinstance(corpus, Table):
+            for row in corpus:
+                values = [str(v) for _c, v in row.non_null_items()]
+                result.append((row.row_id, preprocessor.terms_of_values(values)))
+        elif isinstance(corpus, Taxonomy):
+            for node in corpus:
+                result.append((node.node_id, preprocessor.terms(node.label)))
+        elif isinstance(corpus, TextCorpus):
+            for doc in corpus:
+                result.append((doc.doc_id, preprocessor.terms(doc.text)))
+        else:
+            raise TypeError(f"unsupported corpus type: {type(corpus)!r}")
+        return result
+
+    @staticmethod
+    def _role_of(corpus: Corpus) -> str:
+        if isinstance(corpus, Table):
+            return "tuple"
+        if isinstance(corpus, Taxonomy):
+            return "concept"
+        return "document"
+
+    def _column_labels_for(
+        self, corpus: Corpus, object_id: str, graph: MatchGraph
+    ) -> Dict[str, List[str]]:
+        """For tables: map each term of the row to its column node labels.
+
+        Also adds the column metadata nodes to the graph on first use.
+        """
+        if not isinstance(corpus, Table) or not self.config.add_column_nodes:
+            return {}
+        row = corpus[object_id]
+        mapping: Dict[str, List[str]] = {}
+        for column, value in row.non_null_items():
+            col_label = f"{COLUMN_PREFIX}{corpus.name}::{column}"
+            graph.add_node(col_label, kind=NodeKind.METADATA, corpus="first", role="column")
+            for term in self._preprocessor.terms(str(value)):
+                mapping.setdefault(term, []).append(col_label)
+        return mapping
+
+    @staticmethod
+    def _connect_taxonomy(graph: MatchGraph, taxonomy: Taxonomy, metadata: Dict[str, str]) -> None:
+        """Add parent/child metadata-metadata edges (Algorithm 1 lines 12-16)."""
+        for node in taxonomy:
+            if node.parent_id is None:
+                continue
+            child_label = metadata.get(node.node_id)
+            parent_label = metadata.get(node.parent_id)
+            if child_label and parent_label:
+                graph.add_edge(child_label, parent_label)
+
+    @staticmethod
+    def _second_may_create_nodes(filter_strategy: FilterStrategy) -> bool:
+        """Whether second-corpus terms may create *new* data nodes.
+
+        Under Intersect filtering only the anchor corpus introduces nodes;
+        the Normal and TF-IDF strategies of Figure 9 let both corpora do so.
+        """
+        if isinstance(filter_strategy, IntersectFilter):
+            return filter_strategy.anchor == "second"
+        return True

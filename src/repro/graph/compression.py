@@ -1,0 +1,287 @@
+"""Graph compression (Section III-B of the paper).
+
+The paper proposes **MSP** (Metadata Shortest Path, Algorithm 3): sample
+pairs of metadata nodes from the two corpora, compute all shortest paths
+between them, and keep the union of the nodes and edges on those paths; the
+number of iterations is β·|V|.  Every metadata node — even if never sampled —
+is finally connected to the compressed graph through at least one shortest
+path so that no object to match is lost.
+
+Baselines implemented for Table VIII and the related-work comparison:
+
+* **SSP** — the original shortest-path sampling over *random* node pairs
+  (not restricted to metadata nodes).
+* **SSuM-style** — a task-agnostic summarizer: greedy grouping of
+  structurally similar low-degree nodes plus edge sparsification down to a
+  target ratio of the input size.
+* **random node / edge sampling** — the classic baselines from the graph
+  sampling literature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.graph import MatchGraph, NodeKind
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class CompressionResult:
+    """A compressed graph together with size statistics."""
+
+    graph: MatchGraph
+    method: str
+    nodes_before: int
+    edges_before: int
+
+    @property
+    def nodes_after(self) -> int:
+        return self.graph.num_nodes()
+
+    @property
+    def edges_after(self) -> int:
+        return self.graph.num_edges()
+
+    @property
+    def node_ratio(self) -> float:
+        return self.nodes_after / self.nodes_before if self.nodes_before else 1.0
+
+    @property
+    def edge_ratio(self) -> float:
+        return self.edges_after / self.edges_before if self.edges_before else 1.0
+
+
+def _copy_node(source: MatchGraph, target: MatchGraph, label: str) -> None:
+    info = source.node_info(label)
+    target.add_node(label, kind=info.kind, corpus=info.corpus, role=info.role)
+
+
+def _add_path(source: MatchGraph, target: MatchGraph, path: Sequence[str]) -> None:
+    for node in path:
+        if not target.has_node(node):
+            _copy_node(source, target, node)
+    for u, v in zip(path, path[1:]):
+        target.add_edge(u, v)
+
+
+# ----------------------------------------------------------------------
+# MSP — Algorithm 3
+def msp_compress(
+    graph: MatchGraph,
+    first_metadata: Sequence[str],
+    second_metadata: Sequence[str],
+    beta: float = 0.5,
+    seed=None,
+    max_paths_per_pair: int = 16,
+) -> CompressionResult:
+    """Metadata Shortest Path compression (Algorithm 3).
+
+    Parameters
+    ----------
+    graph:
+        The (possibly expanded) graph to compress.
+    first_metadata / second_metadata:
+        Metadata-node labels of the two corpora; pairs are sampled across
+        the two sets.
+    beta:
+        Compression ratio — the number of sampled pairs is ``beta *
+        graph.num_nodes()``.
+    seed:
+        Seed / generator for pair sampling.
+    max_paths_per_pair:
+        Cap on the number of shortest paths enumerated per sampled pair.
+    """
+    if not 0 < beta:
+        raise ValueError("beta must be positive")
+    first_metadata = [m for m in first_metadata if graph.has_node(m)]
+    second_metadata = [m for m in second_metadata if graph.has_node(m)]
+    if not first_metadata or not second_metadata:
+        raise ValueError("both corpora must contribute at least one metadata node")
+
+    rng = ensure_rng(seed)
+    compressed = MatchGraph()
+    nodes_before = graph.num_nodes()
+    edges_before = graph.num_edges()
+
+    iterations = max(1, int(beta * nodes_before))
+    for _ in range(iterations):
+        first = first_metadata[int(rng.integers(0, len(first_metadata)))]
+        second = second_metadata[int(rng.integers(0, len(second_metadata)))]
+        paths = graph.all_shortest_paths(first, second, limit=max_paths_per_pair)
+        for path in paths:
+            _add_path(graph, compressed, path)
+
+    # Guarantee that every metadata node is present and connected.
+    _ensure_metadata_connected(graph, compressed, first_metadata, second_metadata, rng)
+
+    return CompressionResult(
+        graph=compressed, method=f"msp({beta})", nodes_before=nodes_before, edges_before=edges_before
+    )
+
+
+def _ensure_metadata_connected(
+    graph: MatchGraph,
+    compressed: MatchGraph,
+    first_metadata: Sequence[str],
+    second_metadata: Sequence[str],
+    rng,
+) -> None:
+    """Connect every metadata node via at least one shortest path."""
+    for metadata, other_side in ((first_metadata, second_metadata), (second_metadata, first_metadata)):
+        for label in metadata:
+            already_connected = compressed.has_node(label) and compressed.degree(label) > 0
+            if already_connected:
+                continue
+            target = other_side[int(rng.integers(0, len(other_side)))]
+            path = graph.shortest_path(label, target)
+            if path is not None:
+                _add_path(graph, compressed, path)
+            elif not compressed.has_node(label):
+                # Disconnected in the original graph: keep the bare node so
+                # downstream matching still produces a (random) ranking.
+                _copy_node(graph, compressed, label)
+
+
+# ----------------------------------------------------------------------
+# SSP — shortest paths between random node pairs (Rezvanian & Meybodi)
+def ssp_compress(
+    graph: MatchGraph,
+    beta: float = 0.5,
+    seed=None,
+    max_paths_per_pair: int = 16,
+) -> CompressionResult:
+    """Shortest-path sampling over uniformly random node pairs."""
+    if not 0 < beta:
+        raise ValueError("beta must be positive")
+    rng = ensure_rng(seed)
+    nodes = graph.nodes()
+    if len(nodes) < 2:
+        raise ValueError("graph must have at least two nodes")
+    compressed = MatchGraph()
+    nodes_before = graph.num_nodes()
+    edges_before = graph.num_edges()
+    iterations = max(1, int(beta * nodes_before))
+    for _ in range(iterations):
+        u = nodes[int(rng.integers(0, len(nodes)))]
+        v = nodes[int(rng.integers(0, len(nodes)))]
+        if u == v:
+            continue
+        paths = graph.all_shortest_paths(u, v, limit=max_paths_per_pair)
+        for path in paths:
+            _add_path(graph, compressed, path)
+    return CompressionResult(
+        graph=compressed, method=f"ssp({beta})", nodes_before=nodes_before, edges_before=edges_before
+    )
+
+
+# ----------------------------------------------------------------------
+# SSuM-style summarization
+def ssum_compress(
+    graph: MatchGraph,
+    target_ratio: float = 0.1,
+    seed=None,
+) -> CompressionResult:
+    """Task-agnostic summarization in the spirit of SSumM.
+
+    The method (i) groups low-degree data nodes that share their entire
+    neighbourhood into a single super-node, and (ii) sparsifies the edge set
+    by dropping edges incident to the highest-degree hubs until roughly
+    ``(1 - target_ratio)`` of the nodes have been removed.  Metadata nodes
+    are never grouped or dropped.  This reproduces the qualitative behaviour
+    reported in Table VIII: good size reduction, but no awareness of the
+    metadata-to-metadata paths that matter for matching.
+    """
+    if not 0 < target_ratio <= 1:
+        raise ValueError("target_ratio must be in (0, 1]")
+    rng = ensure_rng(seed)
+    compressed = graph.copy()
+    nodes_before = graph.num_nodes()
+    edges_before = graph.num_edges()
+
+    # Phase 1: merge data nodes with identical neighbourhoods (super-nodes).
+    signature: Dict[Tuple[str, ...], List[str]] = {}
+    for label in compressed.data_nodes():
+        key = tuple(sorted(compressed.neighbors(label)))
+        signature.setdefault(key, []).append(label)
+    for _key, members in signature.items():
+        if len(members) < 2:
+            continue
+        keep = members[0]
+        for absorb in members[1:]:
+            if compressed.has_node(absorb) and compressed.has_node(keep):
+                compressed.merge_nodes(keep, absorb)
+
+    # Phase 2: drop the lowest-connectivity data nodes until only
+    # ``target_ratio`` of the original data nodes survive.  Metadata nodes
+    # are never dropped, and at least a handful of data nodes always remain
+    # so the summarized graph stays walkable.
+    original_data_count = len(graph.data_nodes())
+    target_data = max(4, int(target_ratio * original_data_count))
+    removable = [l for l in compressed.data_nodes()]
+    # Shuffle then sort by degree so ties are broken randomly but reproducibly.
+    order = list(rng.permutation(len(removable)))
+    removable = [removable[i] for i in order]
+    removable.sort(key=compressed.degree)
+    for label in removable:
+        if len(compressed.data_nodes()) <= target_data:
+            break
+        compressed.remove_node(label)
+
+    return CompressionResult(
+        graph=compressed,
+        method=f"ssum({target_ratio})",
+        nodes_before=nodes_before,
+        edges_before=edges_before,
+    )
+
+
+# ----------------------------------------------------------------------
+# Classic sampling baselines
+def random_node_compress(graph: MatchGraph, keep_ratio: float = 0.5, seed=None) -> CompressionResult:
+    """Keep a uniform sample of data nodes (metadata nodes always kept)."""
+    if not 0 < keep_ratio <= 1:
+        raise ValueError("keep_ratio must be in (0, 1]")
+    rng = ensure_rng(seed)
+    nodes_before = graph.num_nodes()
+    edges_before = graph.num_edges()
+    data_nodes = graph.data_nodes()
+    n_keep = int(round(keep_ratio * len(data_nodes)))
+    keep_idx = set(rng.choice(len(data_nodes), size=n_keep, replace=False).tolist()) if n_keep else set()
+    keep = {data_nodes[i] for i in keep_idx}
+    keep.update(graph.metadata_nodes())
+    compressed = graph.subgraph(keep)
+    return CompressionResult(
+        graph=compressed,
+        method=f"random-node({keep_ratio})",
+        nodes_before=nodes_before,
+        edges_before=edges_before,
+    )
+
+
+def random_edge_compress(graph: MatchGraph, keep_ratio: float = 0.5, seed=None) -> CompressionResult:
+    """Keep a uniform sample of edges; isolated data nodes are dropped."""
+    if not 0 < keep_ratio <= 1:
+        raise ValueError("keep_ratio must be in (0, 1]")
+    rng = ensure_rng(seed)
+    nodes_before = graph.num_nodes()
+    edges_before = graph.num_edges()
+    edges = list(graph.edges())
+    n_keep = int(round(keep_ratio * len(edges)))
+    keep_idx = set(rng.choice(len(edges), size=n_keep, replace=False).tolist()) if n_keep else set()
+    compressed = MatchGraph()
+    for label in graph.metadata_nodes():
+        _copy_node(graph, compressed, label)
+    for i in keep_idx:
+        u, v = edges[i]
+        for node in (u, v):
+            if not compressed.has_node(node):
+                _copy_node(graph, compressed, node)
+        compressed.add_edge(u, v)
+    return CompressionResult(
+        graph=compressed,
+        method=f"random-edge({keep_ratio})",
+        nodes_before=nodes_before,
+        edges_before=edges_before,
+    )

@@ -1,0 +1,106 @@
+"""Graph expansion with external resources (Algorithm 2 of the paper).
+
+Every data node of the graph is looked up in an external knowledge resource
+(ConceptNet, DBpedia, WordNet — here, any object implementing the
+:class:`repro.kb.knowledge_base.KnowledgeBase` interface).  All its related
+entities/concepts are added as new ("external") data nodes with edges to the
+original node.  After expansion, sink nodes (degree <= 1) are removed, since
+a node connected to a single other node cannot create new paths between
+metadata nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.graph.graph import MatchGraph, NodeKind
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+
+@dataclass
+class ExpansionResult:
+    """Summary of one expansion pass."""
+
+    nodes_before: int
+    edges_before: int
+    nodes_added: int
+    edges_added: int
+    sink_nodes_removed: int
+    nodes_after: int
+    edges_after: int
+
+
+def expand_graph(
+    graph: MatchGraph,
+    resource,
+    max_relations_per_node: Optional[int] = None,
+    remove_sinks: bool = True,
+) -> ExpansionResult:
+    """Expand ``graph`` in place using ``resource`` (Algorithm 2).
+
+    Parameters
+    ----------
+    graph:
+        The graph produced by :class:`~repro.graph.builder.GraphBuilder`.
+    resource:
+        A knowledge base exposing ``related(term) -> Iterable[str]``.
+    max_relations_per_node:
+        Optional cap on the number of relations fetched per data node;
+        ``None`` fetches everything the resource knows (the paper notes
+        DBpedia has >800 relations for some entities — pruning is left to
+        the compression step).
+    remove_sinks:
+        Remove degree<=1 non-metadata nodes after expansion (paper default).
+
+    Returns
+    -------
+    ExpansionResult
+        Before/after statistics of the expansion.
+    """
+    nodes_before = graph.num_nodes()
+    edges_before = graph.num_edges()
+
+    nodes_added = 0
+    edges_added = 0
+    # Iterate over a snapshot: expansion adds nodes that must not themselves
+    # be expanded (only original data nodes are looked up, per Algorithm 2).
+    for label in list(graph.nodes()):
+        if graph.is_metadata(label):
+            continue
+        related = resource.related(label)
+        if max_relations_per_node is not None:
+            related = list(related)[:max_relations_per_node]
+        for neighbor in related:
+            if not neighbor or neighbor == label:
+                continue
+            if not graph.has_node(neighbor):
+                graph.add_node(neighbor, kind=NodeKind.DATA, corpus="external", role="external")
+                nodes_added += 1
+            if graph.add_edge(label, neighbor):
+                edges_added += 1
+
+    sink_removed = 0
+    if remove_sinks:
+        sink_removed = graph.remove_sink_nodes(protect_metadata=True)
+
+    result = ExpansionResult(
+        nodes_before=nodes_before,
+        edges_before=edges_before,
+        nodes_added=nodes_added,
+        edges_added=edges_added,
+        sink_nodes_removed=sink_removed,
+        nodes_after=graph.num_nodes(),
+        edges_after=graph.num_edges(),
+    )
+    logger.debug(
+        "expansion: +%d nodes, +%d edges, -%d sinks (now %d nodes / %d edges)",
+        nodes_added,
+        edges_added,
+        sink_removed,
+        result.nodes_after,
+        result.edges_after,
+    )
+    return result

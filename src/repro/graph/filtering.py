@@ -1,0 +1,158 @@
+"""Data-node filtering strategies (Section II-B and Figure 9).
+
+The graph would explode if every term of both corpora became a node.  The
+paper's default strategy ("Intersect") creates data nodes only for the corpus
+with the smaller distinct vocabulary and keeps, from the other corpus, only
+the terms that already exist in the graph.  The alternative evaluated in
+Figure 9 keeps, for every document, the k highest TF-IDF terms (the strategy
+used by Ditto for text-heavy datasets).  ``NoFilter`` keeps everything and is
+the "Normal" series of Figure 9.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+class FilterStrategy(ABC):
+    """Decides which terms of each corpus become data nodes."""
+
+    #: human-readable name used in benchmark output
+    name: str = "abstract"
+
+    @abstractmethod
+    def prepare(
+        self,
+        first_corpus_terms: Sequence[Sequence[str]],
+        second_corpus_terms: Sequence[Sequence[str]],
+    ) -> None:
+        """Inspect the full term lists of both corpora before filtering."""
+
+    @abstractmethod
+    def keep_first(self, doc_index: int, terms: Sequence[str]) -> List[str]:
+        """Terms of first-corpus document ``doc_index`` that become nodes."""
+
+    @abstractmethod
+    def keep_second(self, doc_index: int, terms: Sequence[str]) -> List[str]:
+        """Terms of second-corpus document ``doc_index`` that become nodes."""
+
+
+class NoFilter(FilterStrategy):
+    """Keep every term of both corpora (Figure 9, "Normal")."""
+
+    name = "normal"
+
+    def prepare(self, first_corpus_terms, second_corpus_terms) -> None:  # noqa: D102
+        return None
+
+    def keep_first(self, doc_index: int, terms: Sequence[str]) -> List[str]:  # noqa: D102
+        return list(terms)
+
+    def keep_second(self, doc_index: int, terms: Sequence[str]) -> List[str]:  # noqa: D102
+        return list(terms)
+
+
+class IntersectFilter(FilterStrategy):
+    """The paper's default filtering (Section II-B).
+
+    Data nodes are created from the corpus with the smaller number of
+    distinct terms ("anchor" corpus); terms of the other corpus that are not
+    already nodes are dropped.  This focuses learning on the terms that
+    bridge the two corpora.
+    """
+
+    name = "intersect"
+
+    def __init__(self) -> None:
+        self._anchor = "first"
+        self._anchor_vocabulary: set = set()
+
+    @property
+    def anchor(self) -> str:
+        """Which corpus ("first" or "second") provides the vocabulary."""
+        return self._anchor
+
+    def prepare(self, first_corpus_terms, second_corpus_terms) -> None:  # noqa: D102
+        first_vocab = set()
+        for terms in first_corpus_terms:
+            first_vocab.update(terms)
+        second_vocab = set()
+        for terms in second_corpus_terms:
+            second_vocab.update(terms)
+        if len(first_vocab) <= len(second_vocab):
+            self._anchor = "first"
+            self._anchor_vocabulary = first_vocab
+        else:
+            self._anchor = "second"
+            self._anchor_vocabulary = second_vocab
+
+    def keep_first(self, doc_index: int, terms: Sequence[str]) -> List[str]:  # noqa: D102
+        if self._anchor == "first":
+            return list(terms)
+        return [t for t in terms if t in self._anchor_vocabulary]
+
+    def keep_second(self, doc_index: int, terms: Sequence[str]) -> List[str]:  # noqa: D102
+        if self._anchor == "second":
+            return list(terms)
+        return [t for t in terms if t in self._anchor_vocabulary]
+
+
+class TfIdfFilter(FilterStrategy):
+    """Keep the top-k TF-IDF terms of every document (Figure 9, "TFIDF")."""
+
+    name = "tfidf"
+
+    def __init__(self, top_k: int = 10):
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        self.top_k = top_k
+        self._idf_first: Dict[str, float] = {}
+        self._idf_second: Dict[str, float] = {}
+
+    @staticmethod
+    def _idf(documents: Sequence[Sequence[str]]) -> Dict[str, float]:
+        n_docs = len(documents)
+        doc_freq: Counter = Counter()
+        for terms in documents:
+            doc_freq.update(set(terms))
+        return {
+            term: math.log((1 + n_docs) / (1 + df)) + 1.0 for term, df in doc_freq.items()
+        }
+
+    def prepare(self, first_corpus_terms, second_corpus_terms) -> None:  # noqa: D102
+        self._idf_first = self._idf(first_corpus_terms)
+        self._idf_second = self._idf(second_corpus_terms)
+
+    def _top_terms(self, terms: Sequence[str], idf: Dict[str, float]) -> List[str]:
+        counts = Counter(terms)
+        scored = [(counts[t] * idf.get(t, 1.0), t) for t in counts]
+        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        return [t for _score, t in scored[: self.top_k]]
+
+    def keep_first(self, doc_index: int, terms: Sequence[str]) -> List[str]:  # noqa: D102
+        return self._top_terms(terms, self._idf_first)
+
+    def keep_second(self, doc_index: int, terms: Sequence[str]) -> List[str]:  # noqa: D102
+        return self._top_terms(terms, self._idf_second)
+
+
+@dataclass
+class FilterStatistics:
+    """Summary of what a filter kept / dropped (for reports and tests)."""
+
+    first_total: int = 0
+    first_kept: int = 0
+    second_total: int = 0
+    second_kept: int = 0
+
+    @property
+    def first_kept_fraction(self) -> float:
+        return self.first_kept / self.first_total if self.first_total else 1.0
+
+    @property
+    def second_kept_fraction(self) -> float:
+        return self.second_kept / self.second_total if self.second_total else 1.0

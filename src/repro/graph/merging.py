@@ -1,0 +1,201 @@
+"""Node-merging techniques (Section II-C of the paper).
+
+Correctly merging data nodes shortens the paths between related metadata
+nodes across corpora.  Three techniques are provided:
+
+* **Stemming** — applied earlier, in :mod:`repro.text.preprocess`.
+* **Numeric bucketing** — numeric data nodes are merged into equal-width
+  buckets whose width follows the Freedman–Diaconis rule.
+* **Embedding-based merging** — two data nodes are merged when the cosine
+  similarity of their vectors in a pre-trained resource exceeds a threshold
+  γ that is calibrated as the mean similarity over a synonym list (the paper
+  uses 17K WordNet synonym pairs against Wikipedia2Vec and finds γ=0.57).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.graph import MatchGraph, NodeKind
+from repro.text.tokenizer import is_numeric_token, parse_numeric_token
+
+
+@dataclass
+class MergeReport:
+    """What a merging pass did to the graph."""
+
+    technique: str
+    merged_pairs: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def num_merged(self) -> int:
+        return len(self.merged_pairs)
+
+
+# ----------------------------------------------------------------------
+# Numeric bucketing
+def freedman_diaconis_width(values: Sequence[float]) -> float:
+    """Bucket width according to the Freedman–Diaconis rule.
+
+    width = 2 * IQR / n^(1/3).  Falls back to the data range (single bucket)
+    when the IQR is zero or there are fewer than two values.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size < 2:
+        return max(float(arr.max() - arr.min()), 1.0) if arr.size else 1.0
+    q75, q25 = np.percentile(arr, [75, 25])
+    iqr = q75 - q25
+    if iqr <= 0:
+        spread = float(arr.max() - arr.min())
+        return spread if spread > 0 else 1.0
+    return float(2.0 * iqr / (arr.size ** (1.0 / 3.0)))
+
+
+class NumericBucketer:
+    """Merges numeric data nodes into equal-width buckets.
+
+    Parameters
+    ----------
+    width:
+        Explicit bucket width; when None the Freedman–Diaconis rule is used
+        on the numeric values present in the graph.
+    """
+
+    def __init__(self, width: Optional[float] = None):
+        if width is not None and width <= 0:
+            raise ValueError("bucket width must be positive")
+        self.width = width
+
+    @staticmethod
+    def bucket_label(value: float, width: float, origin: float) -> str:
+        """The canonical label of the bucket that contains ``value``."""
+        index = int(np.floor((value - origin) / width))
+        low = origin + index * width
+        high = low + width
+        return f"num[{low:g},{high:g})"
+
+    def apply(self, graph: MatchGraph) -> MergeReport:
+        """Merge all numeric data nodes of ``graph`` into bucket nodes."""
+        report = MergeReport(technique="bucketing")
+        numeric_nodes: List[Tuple[str, float]] = []
+        for label in graph.data_nodes():
+            if is_numeric_token(label):
+                numeric_nodes.append((label, parse_numeric_token(label)))
+        if not numeric_nodes:
+            return report
+        values = [v for _label, v in numeric_nodes]
+        width = self.width if self.width is not None else freedman_diaconis_width(values)
+        if width <= 0:
+            width = 1.0
+        origin = float(min(values))
+        buckets: Dict[str, List[str]] = {}
+        for label, value in numeric_nodes:
+            buckets.setdefault(self.bucket_label(value, width, origin), []).append(label)
+        for bucket, members in buckets.items():
+            if len(members) < 2:
+                continue
+            graph.add_node(bucket, kind=NodeKind.DATA, corpus="both", role="term")
+            for member in members:
+                graph.merge_nodes(bucket, member)
+                report.merged_pairs.append((bucket, member))
+        return report
+
+
+# ----------------------------------------------------------------------
+# Embedding-based merging (synonyms, acronyms, typos)
+class EmbeddingMerger:
+    """Merges data nodes whose pre-trained vectors are highly similar.
+
+    Parameters
+    ----------
+    embeddings:
+        Any object exposing ``vector(term) -> Optional[np.ndarray]`` — in this
+        library, :class:`repro.embeddings.pretrained.PretrainedEmbeddings`.
+    threshold:
+        Cosine threshold γ; when None it must be calibrated with
+        :meth:`calibrate_threshold` before :meth:`apply`.
+    max_candidates:
+        Safety cap on the number of candidate pairs examined (the candidate
+        set is restricted to nodes sharing a token or a prefix, so this cap
+        is rarely hit on realistic graphs).
+    """
+
+    def __init__(self, embeddings, threshold: Optional[float] = None, max_candidates: int = 200_000):
+        self.embeddings = embeddings
+        self.threshold = threshold
+        self.max_candidates = max_candidates
+
+    # -- calibration ----------------------------------------------------
+    def calibrate_threshold(self, synonym_pairs: Iterable[Tuple[str, str]]) -> float:
+        """Set γ to the mean cosine similarity over ``synonym_pairs``.
+
+        Pairs for which either term has no pre-trained vector are skipped.
+        """
+        sims: List[float] = []
+        for a, b in synonym_pairs:
+            va = self.embeddings.vector(a)
+            vb = self.embeddings.vector(b)
+            if va is None or vb is None:
+                continue
+            sims.append(_cosine(va, vb))
+        if not sims:
+            raise ValueError("no synonym pair had vectors in the pre-trained resource")
+        self.threshold = float(np.mean(sims))
+        return self.threshold
+
+    # -- merging --------------------------------------------------------
+    def apply(self, graph: MatchGraph) -> MergeReport:
+        """Merge similar data nodes of ``graph`` (higher-degree node wins)."""
+        if self.threshold is None:
+            raise ValueError("threshold γ is not set; call calibrate_threshold first")
+        report = MergeReport(technique="embedding")
+        candidates = self._candidate_pairs(graph)
+        for a, b in candidates:
+            if not (graph.has_node(a) and graph.has_node(b)):
+                continue  # one of them was already absorbed
+            va = self.embeddings.vector(a)
+            vb = self.embeddings.vector(b)
+            if va is None or vb is None:
+                continue
+            if _cosine(va, vb) >= self.threshold:
+                keep, absorb = (a, b) if graph.degree(a) >= graph.degree(b) else (b, a)
+                graph.merge_nodes(keep, absorb)
+                report.merged_pairs.append((keep, absorb))
+        return report
+
+    def _candidate_pairs(self, graph: MatchGraph) -> List[Tuple[str, str]]:
+        """Candidate node pairs: data nodes sharing a token or a 4-char prefix."""
+        buckets: Dict[str, List[str]] = {}
+        for label in graph.data_nodes():
+            if is_numeric_token(label):
+                continue
+            keys = set(label.split())
+            keys.add(label[:4])
+            for key in keys:
+                buckets.setdefault(key, []).append(label)
+        pairs: List[Tuple[str, str]] = []
+        seen = set()
+        for members in buckets.values():
+            if len(members) < 2:
+                continue
+            members = sorted(members)
+            for i in range(len(members)):
+                for j in range(i + 1, len(members)):
+                    pair = (members[i], members[j])
+                    if pair in seen:
+                        continue
+                    seen.add(pair)
+                    pairs.append(pair)
+                    if len(pairs) >= self.max_candidates:
+                        return pairs
+        return pairs
+
+
+def _cosine(a: np.ndarray, b: np.ndarray) -> float:
+    denom = float(np.linalg.norm(a) * np.linalg.norm(b))
+    if denom == 0.0:
+        return 0.0
+    return float(np.dot(a, b) / denom)

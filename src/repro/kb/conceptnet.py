@@ -1,0 +1,60 @@
+"""Synthetic ConceptNet-like resource (concepts, generic nouns and verbs).
+
+ConceptNet relates common-sense concepts (``management`` — ``planning``).
+Offline we synthesise an equivalent: given a set of *concept clusters*
+(groups of related words, typically derived from the scenario vocabulary) we
+emit ``RelatedTo`` triples inside each cluster, and we add noise relations
+between random word pairs so that expansion also brings in useless edges —
+the property that motivates the compression step of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.kb.knowledge_base import InMemoryKnowledgeBase
+from repro.utils.rng import ensure_rng
+
+
+def build_concept_kb(
+    concept_clusters: Mapping[str, Sequence[str]],
+    noise_terms: Optional[Sequence[str]] = None,
+    noise_relations: int = 0,
+    seed=None,
+    name: str = "conceptnet",
+) -> InMemoryKnowledgeBase:
+    """Build a concept-centric knowledge base.
+
+    Parameters
+    ----------
+    concept_clusters:
+        Mapping cluster label → related words; every pair of words inside a
+        cluster is connected with a ``RelatedTo`` relation through the
+        cluster label (hub-and-spoke, like ConceptNet concept pages).
+    noise_terms:
+        Pool of extra terms used to fabricate irrelevant relations.
+    noise_relations:
+        Number of random noise triples to add.
+    seed:
+        RNG seed for the noise relations.
+    """
+    kb = InMemoryKnowledgeBase(name=name)
+    for cluster, words in concept_clusters.items():
+        words = [w.lower() for w in words if w]
+        for word in words:
+            if word != cluster.lower():
+                kb.add_relation(word, "RelatedTo", cluster.lower())
+        # Also connect consecutive members directly so two related words can
+        # reach each other in one hop even if the cluster hub is filtered.
+        for first, second in zip(words, words[1:]):
+            kb.add_relation(first, "RelatedTo", second)
+
+    if noise_relations and noise_terms:
+        rng = ensure_rng(seed)
+        pool = [t.lower() for t in noise_terms if t]
+        for _ in range(noise_relations):
+            a = pool[int(rng.integers(0, len(pool)))]
+            b = pool[int(rng.integers(0, len(pool)))]
+            if a != b:
+                kb.add_relation(a, "NoiseRelatedTo", b)
+    return kb

@@ -1,0 +1,25 @@
+"""Text-processing substrate: tokenization, stop words, stemming, n-grams.
+
+These are the pre-processing steps of Section II of the paper: every cell
+value and every text sentence is tokenised, lower-cased, stripped of stop
+words, and stemmed before it becomes a *term* (data node) of the graph.
+"""
+
+from repro.text.tokenizer import Tokenizer, tokenize
+from repro.text.stopwords import STOP_WORDS, is_stop_word
+from repro.text.stemmer import PorterStemmer, stem
+from repro.text.ngrams import generate_ngrams, ngram_terms
+from repro.text.preprocess import Preprocessor, PreprocessConfig
+
+__all__ = [
+    "Tokenizer",
+    "tokenize",
+    "STOP_WORDS",
+    "is_stop_word",
+    "PorterStemmer",
+    "stem",
+    "generate_ngrams",
+    "ngram_terms",
+    "Preprocessor",
+    "PreprocessConfig",
+]

@@ -1,0 +1,103 @@
+"""End-to-end pre-processing: tokenize → remove stop words → stem → n-grams.
+
+This module turns raw strings (text sentences, paragraphs, table cell
+values) into the list of *terms* that become data nodes in the graph
+(Section II of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.text.ngrams import DEFAULT_MAX_NGRAM, ngram_terms
+from repro.text.stemmer import PorterStemmer
+from repro.text.stopwords import STOP_WORDS
+from repro.text.tokenizer import Tokenizer
+
+
+@dataclass
+class PreprocessConfig:
+    """Configuration of the pre-processing stage.
+
+    Parameters
+    ----------
+    max_ngram:
+        Maximum number of tokens per term (paper default: 3).
+    remove_stopwords:
+        Drop stop words before term generation.
+    apply_stemming:
+        Stem tokens with the Porter stemmer; stemming also acts as the first
+        node-merging technique of Section II-C.
+    lowercase:
+        Lower-case tokens.
+    min_token_length:
+        Minimum character length for alphabetic tokens.
+    keep_numbers:
+        Keep numeric tokens (merged later via bucketing).
+    """
+
+    max_ngram: int = DEFAULT_MAX_NGRAM
+    remove_stopwords: bool = True
+    apply_stemming: bool = True
+    lowercase: bool = True
+    min_token_length: int = 2
+    keep_numbers: bool = True
+
+
+@dataclass
+class Preprocessor:
+    """Stateless text-to-terms transformer with a small memoisation cache."""
+
+    config: PreprocessConfig = field(default_factory=PreprocessConfig)
+
+    def __post_init__(self) -> None:
+        self._tokenizer = Tokenizer(
+            lowercase=self.config.lowercase,
+            min_token_length=self.config.min_token_length,
+            keep_numbers=self.config.keep_numbers,
+        )
+        self._stemmer = PorterStemmer()
+        self._stem_cache: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def tokens(self, text: str) -> List[str]:
+        """Raw tokens of ``text`` after stop-word removal and stemming."""
+        tokens = self._tokenizer.tokenize(text)
+        if self.config.remove_stopwords:
+            tokens = [t for t in tokens if t not in STOP_WORDS]
+        if self.config.apply_stemming:
+            tokens = [self._stem(t) for t in tokens]
+        return tokens
+
+    def terms(self, text: str, max_ngram: Optional[int] = None) -> List[str]:
+        """All unique n-gram terms of ``text`` (the graph's data nodes)."""
+        n = self.config.max_ngram if max_ngram is None else max_ngram
+        return ngram_terms(self.tokens(text), max_n=n)
+
+    def terms_of_values(
+        self, values: Sequence[str], max_ngram: Optional[int] = None
+    ) -> List[str]:
+        """Terms of a sequence of values (e.g. the cells of a tuple).
+
+        Each value is pre-processed independently so that n-grams never span
+        two different cells.
+        """
+        seen = set()
+        ordered: List[str] = []
+        for value in values:
+            for term in self.terms(value, max_ngram=max_ngram):
+                if term not in seen:
+                    seen.add(term)
+                    ordered.append(term)
+        return ordered
+
+    # ------------------------------------------------------------------
+    def _stem(self, token: str) -> str:
+        if token[0].isdigit():
+            return token
+        cached = self._stem_cache.get(token)
+        if cached is None:
+            cached = self._stemmer.stem(token)
+            self._stem_cache[token] = cached
+        return cached

@@ -1,0 +1,15 @@
+"""Shared utilities: deterministic RNG helpers, timing, and logging."""
+
+from repro.utils.rng import RandomState, derive_rng, ensure_rng
+from repro.utils.timing import Stopwatch, TimingRegistry, timed
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "RandomState",
+    "derive_rng",
+    "ensure_rng",
+    "Stopwatch",
+    "TimingRegistry",
+    "timed",
+    "get_logger",
+]

@@ -1,0 +1,36 @@
+"""Library-wide logging configuration.
+
+The library never configures the root logger; it only attaches a
+``NullHandler`` so applications decide where log output goes.  Benchmarks and
+examples call :func:`enable_console_logging` for human-readable progress.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_LIBRARY_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a child logger under the library namespace."""
+    if name.startswith(_LIBRARY_LOGGER_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_LIBRARY_LOGGER_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a stderr handler to the library logger (idempotent)."""
+    logger = logging.getLogger(_LIBRARY_LOGGER_NAME)
+    logger.setLevel(level)
+    has_stream = any(isinstance(h, logging.StreamHandler) for h in logger.handlers)
+    if not has_stream:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+
+
+logging.getLogger(_LIBRARY_LOGGER_NAME).addHandler(logging.NullHandler())

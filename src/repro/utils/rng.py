@@ -1,0 +1,75 @@
+"""Deterministic random number generation helpers.
+
+Every stochastic component in the library (random walks, negative sampling,
+synthetic dataset generation, compression sampling) accepts either an integer
+seed or a :class:`numpy.random.Generator`.  Centralising the coercion logic
+here keeps experiments reproducible: the same seed always yields the same
+graph, walks, and embeddings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Union
+
+import numpy as np
+
+# Public alias so callers can type-annotate without importing numpy.random.
+RandomState = np.random.Generator
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an integer seed, or an existing generator
+        (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise TypeError(f"seed must be None, int, or numpy Generator, got {type(seed)!r}")
+
+
+def derive_rng(seed: SeedLike, *labels: str) -> np.random.Generator:
+    """Derive an independent generator from ``seed`` and string ``labels``.
+
+    This lets different pipeline stages (walks, negative sampling, dataset
+    noise injection) consume independent random streams while staying fully
+    determined by one top-level seed.  The derivation hashes the labels so
+    that adding a new stage never perturbs existing ones.
+    """
+    if isinstance(seed, np.random.Generator):
+        # Draw a stable child seed from the generator's bit stream.
+        base = int(seed.integers(0, 2**31 - 1))
+    elif seed is None:
+        base = int(np.random.default_rng().integers(0, 2**31 - 1))
+    else:
+        base = int(seed)
+    digest = hashlib.sha256(("|".join(labels) + f"#{base}").encode("utf-8")).digest()
+    child_seed = int.from_bytes(digest[:8], "little") % (2**63 - 1)
+    return np.random.default_rng(child_seed)
+
+
+def stable_hash(text: str, modulus: Optional[int] = None) -> int:
+    """Deterministic, process-independent hash of a string.
+
+    Python's built-in ``hash`` is salted per process, so it cannot be used
+    where reproducibility across runs matters (e.g. feature hashing for the
+    synthetic pre-trained embeddings).  This helper hashes with SHA-256 and
+    optionally reduces modulo ``modulus``.
+    """
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    value = int.from_bytes(digest[:8], "little")
+    if modulus is not None:
+        if modulus <= 0:
+            raise ValueError("modulus must be positive")
+        return value % modulus
+    return value

@@ -1,0 +1,174 @@
+"""Tests for data-node filtering strategies and node merging."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.pretrained import build_synthetic_pretrained, synonym_pairs_from_clusters
+from repro.graph.filtering import IntersectFilter, NoFilter, TfIdfFilter
+from repro.graph.graph import MatchGraph, NodeKind
+from repro.graph.merging import (
+    EmbeddingMerger,
+    NumericBucketer,
+    freedman_diaconis_width,
+)
+
+
+class TestIntersectFilter:
+    def test_anchor_is_smaller_vocabulary(self):
+        filt = IntersectFilter()
+        filt.prepare([["a", "b"]], [["a", "b", "c", "d"]])
+        assert filt.anchor == "first"
+
+    def test_anchor_switches_to_second(self):
+        filt = IntersectFilter()
+        filt.prepare([["a", "b", "c", "d"]], [["a", "b"]])
+        assert filt.anchor == "second"
+
+    def test_non_anchor_terms_filtered(self):
+        filt = IntersectFilter()
+        filt.prepare([["a", "b"]], [["a", "c"]])
+        assert filt.keep_second(0, ["a", "c"]) == ["a"]
+        assert filt.keep_first(0, ["a", "b"]) == ["a", "b"]
+
+    def test_tie_prefers_first_corpus(self):
+        filt = IntersectFilter()
+        filt.prepare([["a", "b"]], [["c", "d"]])
+        assert filt.anchor == "first"
+
+
+class TestNoFilter:
+    def test_everything_kept(self):
+        filt = NoFilter()
+        filt.prepare([["a"]], [["b"]])
+        assert filt.keep_first(0, ["a", "x"]) == ["a", "x"]
+        assert filt.keep_second(0, ["b", "y"]) == ["b", "y"]
+
+
+class TestTfIdfFilter:
+    def test_top_k_terms_kept(self):
+        filt = TfIdfFilter(top_k=1)
+        docs_a = [["rare", "common"], ["common"]]
+        docs_b = [["common", "rare"]]
+        filt.prepare(docs_a, docs_b)
+        kept = filt.keep_first(0, ["rare", "common", "common"])
+        assert len(kept) == 1
+
+    def test_rare_term_beats_common_term(self):
+        filt = TfIdfFilter(top_k=1)
+        docs = [["rare", "common"], ["common"], ["common"], ["common", "other"]]
+        filt.prepare(docs, docs)
+        assert filt.keep_first(0, ["rare", "common"]) == ["rare"]
+
+    def test_invalid_top_k(self):
+        with pytest.raises(ValueError):
+            TfIdfFilter(top_k=0)
+
+
+class TestFreedmanDiaconis:
+    def test_known_width(self):
+        values = list(range(1, 101))
+        width = freedman_diaconis_width(values)
+        # IQR of 1..100 is ~49.5-50, n^(1/3) ~ 4.64
+        assert 18 < width < 24
+
+    def test_single_value(self):
+        assert freedman_diaconis_width([5.0]) == 1.0
+
+    def test_zero_iqr_falls_back_to_range(self):
+        assert freedman_diaconis_width([3, 3, 3, 3, 9]) == 6.0
+
+    def test_all_equal_values(self):
+        assert freedman_diaconis_width([2, 2, 2, 2]) == 1.0
+
+
+class TestNumericBucketer:
+    def _graph_with_numbers(self):
+        g = MatchGraph()
+        g.add_node("t1", kind=NodeKind.METADATA)
+        for value in ("10", "11", "12", "95", "96", "text"):
+            g.add_node(value, kind=NodeKind.DATA)
+            g.add_edge("t1", value)
+        return g
+
+    def test_close_numbers_merge(self):
+        g = self._graph_with_numbers()
+        report = NumericBucketer(width=5.0).apply(g)
+        assert report.num_merged >= 4
+        remaining_numeric = [n for n in g.data_nodes() if n[0].isdigit()]
+        assert remaining_numeric == []
+
+    def test_bucket_nodes_created(self):
+        g = self._graph_with_numbers()
+        NumericBucketer(width=5.0).apply(g)
+        buckets = [n for n in g.data_nodes() if n.startswith("num[")]
+        assert len(buckets) == 2
+
+    def test_text_nodes_untouched(self):
+        g = self._graph_with_numbers()
+        NumericBucketer(width=5.0).apply(g)
+        assert g.has_node("text")
+
+    def test_no_numbers_is_noop(self):
+        g = MatchGraph()
+        g.add_node("alpha", kind=NodeKind.DATA)
+        report = NumericBucketer().apply(g)
+        assert report.num_merged == 0
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            NumericBucketer(width=0.0)
+
+    def test_bucket_label_format(self):
+        label = NumericBucketer.bucket_label(12.0, 5.0, 10.0)
+        assert label == "num[10,15)"
+
+
+class TestEmbeddingMerger:
+    @pytest.fixture()
+    def pretrained(self):
+        clusters = {"willis": ["bruce willis", "b willis", "willis"]}
+        return build_synthetic_pretrained(clusters, general_vocabulary=["movie", "film"])
+
+    def test_calibrate_threshold(self, pretrained):
+        merger = EmbeddingMerger(pretrained)
+        clusters = {"willis": ["bruce willis", "b willis", "willis"]}
+        gamma = merger.calibrate_threshold(synonym_pairs_from_clusters(clusters))
+        assert 0.3 < gamma <= 1.0
+
+    def test_apply_merges_name_variants(self, pretrained):
+        g = MatchGraph()
+        g.add_node("t1", kind=NodeKind.METADATA)
+        g.add_node("p1", kind=NodeKind.METADATA)
+        g.add_node("bruce willis", kind=NodeKind.DATA)
+        g.add_node("b willis", kind=NodeKind.DATA)
+        g.add_node("thriller", kind=NodeKind.DATA)
+        g.add_edge("t1", "bruce willis")
+        g.add_edge("p1", "b willis")
+        g.add_edge("t1", "thriller")
+        merger = EmbeddingMerger(pretrained, threshold=0.8)
+        report = merger.apply(g)
+        assert report.num_merged == 1
+        # The surviving node bridges the two metadata nodes.
+        survivor = report.merged_pairs[0][0]
+        assert g.has_edge("t1", survivor) and g.has_edge("p1", survivor)
+
+    def test_apply_without_threshold_raises(self, pretrained):
+        with pytest.raises(ValueError):
+            EmbeddingMerger(pretrained).apply(MatchGraph())
+
+    def test_unrelated_nodes_not_merged(self, pretrained):
+        g = MatchGraph()
+        g.add_node("thriller", kind=NodeKind.DATA)
+        g.add_node("planning", kind=NodeKind.DATA)
+        merger = EmbeddingMerger(pretrained, threshold=0.95)
+        report = merger.apply(g)
+        assert report.num_merged == 0
+
+    def test_calibration_with_unknown_terms_only_raises(self):
+        class _Empty:
+            def vector(self, term):
+                return None
+
+        merger = EmbeddingMerger(_Empty())
+        with pytest.raises(ValueError):
+            merger.calibrate_threshold([("a", "b")])

@@ -1,0 +1,196 @@
+"""Tests for the MatchGraph data structure."""
+
+import pytest
+
+from repro.graph.graph import MatchGraph, NodeKind
+
+
+@pytest.fixture()
+def small_graph():
+    """p1 - willis - t1 - thriller, plus a dangling node 'pg'."""
+    g = MatchGraph()
+    g.add_node("p1", kind=NodeKind.METADATA, corpus="second", role="document")
+    g.add_node("t1", kind=NodeKind.METADATA, corpus="first", role="tuple")
+    g.add_node("willis", kind=NodeKind.DATA, corpus="first")
+    g.add_node("thriller", kind=NodeKind.DATA, corpus="first")
+    g.add_node("pg", kind=NodeKind.DATA, corpus="first")
+    g.add_edge("p1", "willis")
+    g.add_edge("t1", "willis")
+    g.add_edge("t1", "thriller")
+    g.add_edge("t1", "pg")
+    return g
+
+
+class TestNodes:
+    def test_add_node_returns_true_once(self):
+        g = MatchGraph()
+        assert g.add_node("a") is True
+        assert g.add_node("a") is False
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ValueError):
+            MatchGraph().add_node("")
+
+    def test_corpus_becomes_both_when_seen_twice(self):
+        g = MatchGraph()
+        g.add_node("term", corpus="first")
+        g.add_node("term", corpus="second")
+        assert g.node_info("term").corpus == "both"
+
+    def test_kind_helpers(self, small_graph):
+        assert small_graph.is_metadata("t1")
+        assert small_graph.is_data("willis")
+        assert small_graph.node_kind("p1") == NodeKind.METADATA
+
+    def test_remove_node_removes_edges(self, small_graph):
+        small_graph.remove_node("willis")
+        assert not small_graph.has_node("willis")
+        assert small_graph.degree("p1") == 0
+        assert small_graph.num_edges() == 2
+
+    def test_remove_missing_node_raises(self):
+        with pytest.raises(KeyError):
+            MatchGraph().remove_node("nope")
+
+    def test_metadata_nodes_filtered_by_corpus_and_role(self, small_graph):
+        assert small_graph.metadata_nodes(corpus="first") == ["t1"]
+        assert small_graph.metadata_nodes(role="document") == ["p1"]
+
+    def test_data_nodes(self, small_graph):
+        assert set(small_graph.data_nodes()) == {"willis", "thriller", "pg"}
+
+
+class TestEdges:
+    def test_add_edge_requires_nodes(self):
+        g = MatchGraph()
+        g.add_node("a")
+        with pytest.raises(KeyError):
+            g.add_edge("a", "missing")
+
+    def test_self_loops_ignored(self):
+        g = MatchGraph()
+        g.add_node("a")
+        assert g.add_edge("a", "a") is False
+        assert g.num_edges() == 0
+
+    def test_duplicate_edge_not_counted_twice(self, small_graph):
+        assert small_graph.add_edge("p1", "willis") is False
+        assert small_graph.num_edges() == 4
+
+    def test_edges_iterated_once(self, small_graph):
+        edges = list(small_graph.edges())
+        assert len(edges) == small_graph.num_edges()
+        assert len(set(edges)) == len(edges)
+
+    def test_remove_edge(self, small_graph):
+        small_graph.remove_edge("t1", "pg")
+        assert not small_graph.has_edge("t1", "pg")
+        assert small_graph.num_edges() == 3
+
+    def test_remove_missing_edge_raises(self, small_graph):
+        with pytest.raises(KeyError):
+            small_graph.remove_edge("p1", "thriller")
+
+    def test_degree_and_average_degree(self, small_graph):
+        assert small_graph.degree("t1") == 3
+        assert small_graph.average_degree() == pytest.approx(2 * 4 / 5)
+
+
+class TestAlgorithms:
+    def test_shortest_path_simple(self, small_graph):
+        path = small_graph.shortest_path("p1", "thriller")
+        assert path == ["p1", "willis", "t1", "thriller"]
+
+    def test_shortest_path_same_node(self, small_graph):
+        assert small_graph.shortest_path("p1", "p1") == ["p1"]
+
+    def test_shortest_path_disconnected(self):
+        g = MatchGraph()
+        g.add_node("a")
+        g.add_node("b")
+        assert g.shortest_path("a", "b") is None
+
+    def test_shortest_path_unknown_node_raises(self, small_graph):
+        with pytest.raises(KeyError):
+            small_graph.shortest_path("p1", "missing")
+
+    def test_all_shortest_paths_multiple(self):
+        # a - b - d and a - c - d are both shortest.
+        g = MatchGraph()
+        for n in "abcd":
+            g.add_node(n)
+        g.add_edge("a", "b")
+        g.add_edge("a", "c")
+        g.add_edge("b", "d")
+        g.add_edge("c", "d")
+        paths = g.all_shortest_paths("a", "d")
+        assert sorted(paths) == [["a", "b", "d"], ["a", "c", "d"]]
+
+    def test_all_shortest_paths_respects_limit(self):
+        g = MatchGraph()
+        for n in "abcd":
+            g.add_node(n)
+        g.add_edge("a", "b")
+        g.add_edge("a", "c")
+        g.add_edge("b", "d")
+        g.add_edge("c", "d")
+        assert len(g.all_shortest_paths("a", "d", limit=1)) == 1
+
+    def test_all_shortest_paths_agree_with_networkx(self, small_graph):
+        import networkx as nx
+
+        nxg = small_graph.to_networkx()
+        expected = sorted(nx.all_shortest_paths(nxg, "p1", "thriller"))
+        assert sorted(small_graph.all_shortest_paths("p1", "thriller")) == expected
+
+    def test_remove_sink_nodes_protects_metadata(self, small_graph):
+        removed = small_graph.remove_sink_nodes()
+        assert removed == 2  # thriller and pg have degree 1
+        assert small_graph.has_node("p1")
+        assert small_graph.has_node("t1")
+
+    def test_remove_sink_nodes_without_protection(self, small_graph):
+        small_graph.remove_sink_nodes(protect_metadata=False)
+        # p1 has degree 1 and is removed when not protected.
+        assert not small_graph.has_node("p1")
+
+    def test_connected_component(self, small_graph):
+        small_graph.add_node("island")
+        component = small_graph.connected_component("p1")
+        assert "island" not in component
+        assert "thriller" in component
+
+
+class TestConstructionHelpers:
+    def test_copy_is_independent(self, small_graph):
+        clone = small_graph.copy()
+        clone.remove_node("willis")
+        assert small_graph.has_node("willis")
+        assert clone.num_nodes() == small_graph.num_nodes() - 1
+
+    def test_subgraph(self, small_graph):
+        sub = small_graph.subgraph(["t1", "willis", "p1", "unknown"])
+        assert sub.num_nodes() == 3
+        assert sub.has_edge("t1", "willis")
+        assert not sub.has_node("thriller")
+
+    def test_merge_nodes_redirects_edges(self, small_graph):
+        small_graph.add_node("b willis", kind=NodeKind.DATA)
+        small_graph.add_edge("p1", "b willis")
+        small_graph.merge_nodes("willis", "b willis")
+        assert not small_graph.has_node("b willis")
+        assert small_graph.has_edge("p1", "willis")
+
+    def test_merge_same_node_is_noop(self, small_graph):
+        before = small_graph.num_edges()
+        small_graph.merge_nodes("willis", "willis")
+        assert small_graph.num_edges() == before
+
+    def test_merge_missing_node_raises(self, small_graph):
+        with pytest.raises(KeyError):
+            small_graph.merge_nodes("willis", "ghost")
+
+    def test_to_networkx_preserves_counts(self, small_graph):
+        nxg = small_graph.to_networkx()
+        assert nxg.number_of_nodes() == small_graph.num_nodes()
+        assert nxg.number_of_edges() == small_graph.num_edges()

@@ -1,0 +1,140 @@
+"""Integration tests: full pipeline runs on every scenario type, paper-shape checks.
+
+These tests exercise the library the way the benchmark harness does, at tiny
+scale so they stay fast, and assert the qualitative relationships the paper
+reports (expansion helps, the graph method beats the frozen sentence encoder
+on domain-specific text-to-data, compression keeps metadata nodes, the
+combination with S-BE is at least competitive).
+"""
+
+import pytest
+
+from repro.baselines.sbert import SbertEncoder, SbertMatcher
+from repro.core.config import CompressionConfig, ExpansionConfig, TDMatchConfig
+from repro.core.pipeline import TDMatch
+from repro.datasets import (
+    ScenarioSize,
+    generate_audit_scenario,
+    generate_corona_scenario,
+    generate_imdb_scenario,
+    generate_politifact_scenario,
+    generate_sts_scenario,
+)
+from repro.datasets.audit import gold_paths, predicted_paths
+from repro.embeddings.pretrained import build_synthetic_pretrained
+from repro.eval.metrics import evaluate_rankings
+from repro.eval.taxonomy_metrics import node_scores
+
+
+SIZE = ScenarioSize.tiny()
+
+
+def run_wrw(scenario, seed=7, expansion=False, compression=None):
+    if scenario.task == "text-to-data":
+        config = TDMatchConfig.for_text_to_data()
+    else:
+        config = TDMatchConfig.for_text_tasks()
+    config.walks.num_walks = 8
+    config.walks.walk_length = 12
+    config.word2vec.vector_size = 48
+    config.word2vec.epochs = 2
+    if expansion:
+        config.expansion = ExpansionConfig(resource=scenario.kb)
+    if compression is not None:
+        config.compression = compression
+    pipeline = TDMatch(config, seed=seed)
+    pipeline.fit(scenario.first, scenario.second)
+    return pipeline
+
+
+class TestTextToDataIntegration:
+    @pytest.fixture(scope="class")
+    def imdb(self):
+        return generate_imdb_scenario(SIZE, seed=17)
+
+    def test_wrw_quality_on_imdb(self, imdb):
+        pipeline = run_wrw(imdb)
+        report = evaluate_rankings("w-rw", pipeline.match(k=20), imdb.gold, ks=(1, 5))
+        assert report.mrr > 0.6
+        assert report.has_positive_at[5] > 0.7
+
+    def test_wrw_beats_frozen_sentence_encoder_on_imdb(self, imdb):
+        pipeline = run_wrw(imdb)
+        wrw = evaluate_rankings("w-rw", pipeline.match(k=20), imdb.gold, ks=(1, 5))
+        sbert = SbertMatcher(
+            SbertEncoder(build_synthetic_pretrained(general_vocabulary=imdb.general_vocabulary))
+        )
+        sbe = evaluate_rankings(
+            "s-be", sbert.rank(imdb.query_texts(), imdb.candidate_texts(), k=20), imdb.gold, ks=(1, 5)
+        )
+        # The paper's core claim for text-to-data: the domain-specific graph
+        # embeddings beat the frozen general-purpose encoder.
+        assert wrw.mrr >= sbe.mrr
+
+    def test_expansion_does_not_hurt_corona(self):
+        scenario = generate_corona_scenario(SIZE, seed=23)
+        base = evaluate_rankings("w-rw", run_wrw(scenario).match(k=20), scenario.gold, ks=(1, 5))
+        expanded = evaluate_rankings(
+            "w-rw-ex", run_wrw(scenario, expansion=True).match(k=20), scenario.gold, ks=(1, 5)
+        )
+        assert expanded.mrr >= base.mrr - 0.15
+
+    def test_msp_compression_preserves_matching_signal(self):
+        scenario = generate_corona_scenario(SIZE, seed=23)
+        compression = CompressionConfig(enabled=True, method="msp", ratio=0.5)
+        pipeline = run_wrw(scenario, compression=compression)
+        result = pipeline.state.compression
+        assert result.nodes_after <= result.nodes_before
+        report = evaluate_rankings("w-rw msp", pipeline.match(k=20), scenario.gold, ks=(1, 5))
+        assert report.has_positive_at[5] > 0.5
+
+
+class TestStructuredTextIntegration:
+    def test_audit_taxonomy_matching_produces_paths(self):
+        scenario = generate_audit_scenario(SIZE, seed=31)
+        pipeline = run_wrw(scenario)
+        rankings = pipeline.match(k=10)
+        gold = gold_paths(scenario)
+        predicted = predicted_paths(scenario, rankings, k=3)
+        scores = node_scores(predicted, gold, k=3)
+        assert scores.recall > 0.1
+        assert 0.0 <= scores.f1 <= 1.0
+
+    def test_query_side_is_documents(self):
+        scenario = generate_audit_scenario(SIZE, seed=31)
+        pipeline = run_wrw(scenario)
+        rankings = pipeline.match(k=3)
+        assert set(rankings.query_ids) == set(scenario.query_texts())
+
+
+class TestTextToTextIntegration:
+    def test_politifact_matching(self):
+        scenario = generate_politifact_scenario(SIZE, seed=37)
+        pipeline = run_wrw(scenario)
+        report = evaluate_rankings("w-rw", pipeline.match(k=20), scenario.gold, ks=(1, 5, 20))
+        assert report.has_positive_at[20] > 0.5
+
+    def test_sts_higher_threshold_is_easier(self):
+        easy = generate_sts_scenario(SIZE, seed=41, threshold=3)
+        hard = generate_sts_scenario(SIZE, seed=41, threshold=2)
+        easy_report = evaluate_rankings("w-rw", run_wrw(easy).match(k=20), easy.gold, ks=(1,))
+        hard_report = evaluate_rankings("w-rw", run_wrw(hard).match(k=20), hard.gold, ks=(1,))
+        # Pairs with similarity >= 3 share more tokens, so matching them is
+        # at least as accurate as the k=2 pool (allowing small-sample noise).
+        assert easy_report.mrr >= hard_report.mrr - 0.2
+
+    def test_combination_with_sbert_is_competitive(self):
+        scenario = generate_politifact_scenario(SIZE, seed=37)
+        pipeline = run_wrw(scenario)
+        matcher = pipeline.matcher()
+        sbert = SbertMatcher(
+            SbertEncoder(build_synthetic_pretrained(scenario.synonym_clusters, scenario.general_vocabulary))
+        )
+        queries = {q: scenario.query_texts()[q] for q in matcher.query_ids}
+        candidates = {c: scenario.candidate_texts()[c] for c in matcher.candidate_ids}
+        sbert_scores = sbert.score_matrix(queries, candidates)
+        alone = evaluate_rankings("w-rw", matcher.match(k=20), scenario.gold, ks=(5,))
+        combined = evaluate_rankings(
+            "w-rw & s-be", matcher.match_combined(sbert_scores, k=20), scenario.gold, ks=(5,)
+        )
+        assert combined.map_at[5] >= alone.map_at[5] - 0.1

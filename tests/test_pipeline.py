@@ -1,0 +1,178 @@
+"""Tests for the end-to-end TDMatch pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    CompressionConfig,
+    ExpansionConfig,
+    MergeConfig,
+    TDMatchConfig,
+)
+from repro.core.exceptions import NotFittedError, PipelineError
+from repro.core.pipeline import TDMatch
+from repro.corpus.documents import TextCorpus
+from repro.corpus.table import Column, Table
+from repro.embeddings.pretrained import build_synthetic_pretrained
+from repro.eval.metrics import evaluate_rankings
+from repro.kb.knowledge_base import InMemoryKnowledgeBase
+
+
+def build_movie_world():
+    """A small text-to-data world with unambiguous gold matches."""
+    table = Table(
+        "movies",
+        [Column("title"), Column("director"), Column("actor"), Column("genre")],
+    )
+    rows = [
+        ("m1", "Silent Storm", "Nora Bergman", "Victor Petrov", "thriller"),
+        ("m2", "Golden Empire", "Oscar Leone", "Iris Novak", "drama"),
+        ("m3", "Paper Moon Hour", "Helen Kaur", "Martin Rossi", "comedy"),
+        ("m4", "Crimson Tide Hollow", "David Chan", "Laura Silva", "mystery"),
+    ]
+    for row_id, title, director, actor, genre in rows:
+        table.add_record(row_id, title=title, director=director, actor=actor, genre=genre)
+
+    reviews = TextCorpus(name="reviews")
+    gold = {}
+    review_texts = {
+        "r1": "Silent Storm is a tense thriller and Bergman directs Petrov brilliantly",
+        "r2": "Golden Empire sees Leone guide Novak through a sweeping drama",
+        "r3": "Paper Moon Hour is a gentle comedy with Rossi at his best under Kaur",
+        "r4": "Crimson Tide Hollow lets Silva shine in Chan's twisting mystery",
+    }
+    for doc_id, text in review_texts.items():
+        reviews.add_text(doc_id, text)
+        gold[doc_id] = {f"m{doc_id[1]}"}
+    return reviews, table, gold
+
+
+@pytest.fixture(scope="module")
+def fitted_pipeline():
+    reviews, table, gold = build_movie_world()
+    pipeline = TDMatch(TDMatchConfig.fast(), seed=11)
+    pipeline.fit(reviews, table)
+    return pipeline, gold
+
+
+class TestFitAndMatch:
+    def test_match_quality_on_unambiguous_world(self, fitted_pipeline):
+        pipeline, gold = fitted_pipeline
+        rankings = pipeline.match(k=4)
+        report = evaluate_rankings("w-rw", rankings, gold, ks=(1,))
+        assert report.mrr >= 0.75
+
+    def test_metadata_vectors_cover_all_documents(self, fitted_pipeline):
+        pipeline, _gold = fitted_pipeline
+        first = pipeline.metadata_vectors("first")
+        second = pipeline.metadata_vectors("second")
+        assert set(first) == {"r1", "r2", "r3", "r4"}
+        assert set(second) == {"m1", "m2", "m3", "m4"}
+        assert all(v.shape == (pipeline.config.word2vec.vector_size,) for v in first.values())
+
+    def test_match_from_second_side(self, fitted_pipeline):
+        pipeline, _gold = fitted_pipeline
+        rankings = pipeline.match(k=2, query_side="second")
+        assert set(rankings.query_ids) == {"m1", "m2", "m3", "m4"}
+
+    def test_match_result_wrapper(self, fitted_pipeline):
+        pipeline, _gold = fitted_pipeline
+        result = pipeline.match_result(k=3)
+        assert result.k == 3 and result.query_side == "first"
+        assert len(result.rankings) == 4
+
+    def test_timings_recorded(self, fitted_pipeline):
+        pipeline, _gold = fitted_pipeline
+        timings = pipeline.timings.as_dict()
+        for stage in ("graph_build", "walks", "word2vec"):
+            assert timings.get(stage, 0) > 0
+
+    def test_invalid_side_rejected(self, fitted_pipeline):
+        pipeline, _gold = fitted_pipeline
+        with pytest.raises(ValueError):
+            pipeline.metadata_vectors("third")
+        with pytest.raises(ValueError):
+            pipeline.match(query_side="third")
+
+
+class TestValidation:
+    def test_unfitted_pipeline_raises(self):
+        with pytest.raises(NotFittedError):
+            TDMatch().match()
+
+    def test_empty_corpus_rejected(self):
+        reviews, table, _gold = build_movie_world()
+        with pytest.raises(PipelineError):
+            TDMatch().fit(TextCorpus(), table)
+
+    def test_wrong_corpus_type_rejected(self):
+        reviews, _table, _gold = build_movie_world()
+        with pytest.raises(PipelineError):
+            TDMatch().fit(reviews, ["not", "a", "corpus"])
+
+
+class TestOptionalStages:
+    def test_expansion_stage_runs(self):
+        reviews, table, gold = build_movie_world()
+        kb = InMemoryKnowledgeBase()
+        kb.add_relation("bergman", "directorOf", "silent storm")
+        kb.add_relation("petrov", "starringOf", "silent storm")
+        config = TDMatchConfig.fast()
+        config.expansion = ExpansionConfig(resource=kb)
+        pipeline = TDMatch(config, seed=5).fit(reviews, table)
+        assert pipeline.state.expansion is not None
+        assert pipeline.state.expansion.edges_added >= 1
+
+    def test_compression_stage_replaces_graph(self):
+        reviews, table, _gold = build_movie_world()
+        config = TDMatchConfig.fast()
+        config.compression = CompressionConfig(enabled=True, method="msp", ratio=0.5)
+        pipeline = TDMatch(config, seed=5).fit(reviews, table)
+        assert pipeline.state.compression is not None
+        assert pipeline.graph is pipeline.state.compression.graph
+
+    def test_all_compression_methods_run(self):
+        reviews, table, _gold = build_movie_world()
+        for method in ("msp", "ssp", "ssum", "random-node", "random-edge"):
+            config = TDMatchConfig.fast()
+            config.compression = CompressionConfig(enabled=True, method=method, ratio=0.5)
+            pipeline = TDMatch(config, seed=5).fit(reviews, table)
+            assert pipeline.state.compression.method.startswith(method)
+
+    def test_numeric_bucketing_stage(self):
+        table = Table("stats", [Column("country"), Column("cases", dtype="numeric")])
+        table.add_record("s1", country="italy", cases=100)
+        table.add_record("s2", country="spain", cases=102)
+        table.add_record("s3", country="france", cases=900)
+        claims = TextCorpus()
+        claims.add_text("c1", "italy reported 100 cases")
+        claims.add_text("c2", "france reported 900 cases")
+        config = TDMatchConfig.fast()
+        config.merge = MergeConfig(bucket_numeric=True, bucket_width=10.0)
+        pipeline = TDMatch(config, seed=5).fit(claims, table)
+        assert any(r.technique == "bucketing" for r in pipeline.state.merge_reports)
+
+    def test_embedding_merge_stage_with_calibration(self):
+        reviews, table, _gold = build_movie_world()
+        clusters = {"petrov": ["victor petrov", "petrov"]}
+        pretrained = build_synthetic_pretrained(clusters)
+        config = TDMatchConfig.fast()
+        config.merge = MergeConfig(
+            pretrained=pretrained,
+            synonym_pairs=[("victor petrov", "petrov")],
+        )
+        pipeline = TDMatch(config, seed=5).fit(reviews, table)
+        assert any(r.technique == "embedding" for r in pipeline.state.merge_reports)
+
+    def test_embedding_merge_without_calibration_raises(self):
+        reviews, table, _gold = build_movie_world()
+        config = TDMatchConfig.fast()
+        config.merge = MergeConfig(pretrained=build_synthetic_pretrained())
+        with pytest.raises(PipelineError):
+            TDMatch(config, seed=5).fit(reviews, table)
+
+    def test_same_seed_reproduces_rankings(self):
+        reviews, table, _gold = build_movie_world()
+        r1 = TDMatch(TDMatchConfig.fast(), seed=21).fit(reviews, table).match(k=4).as_id_lists()
+        r2 = TDMatch(TDMatchConfig.fast(), seed=21).fit(reviews, table).match(k=4).as_id_lists()
+        assert r1 == r2

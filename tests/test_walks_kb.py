@@ -1,0 +1,168 @@
+"""Tests for random-walk generation and the knowledge-base substrate."""
+
+import pytest
+
+from repro.graph.graph import MatchGraph, NodeKind
+from repro.graph.walks import RandomWalkConfig, generate_walks, iter_walks, single_walk
+from repro.kb.conceptnet import build_concept_kb
+from repro.kb.dbpedia import build_entity_kb
+from repro.kb.knowledge_base import InMemoryKnowledgeBase, Triple
+from repro.kb.wordnet import SynonymLexicon, build_synonym_lexicon
+from repro.utils.rng import ensure_rng
+
+
+@pytest.fixture()
+def line_graph():
+    g = MatchGraph()
+    for label in ("a", "b", "c", "d"):
+        g.add_node(label)
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    g.add_edge("c", "d")
+    return g
+
+
+class TestRandomWalks:
+    def test_walk_length_respected(self, line_graph):
+        walk = single_walk(line_graph, "a", 5, ensure_rng(1))
+        assert len(walk) == 5
+        assert walk[0] == "a"
+
+    def test_walk_steps_follow_edges(self, line_graph):
+        walk = single_walk(line_graph, "a", 10, ensure_rng(2))
+        for u, v in zip(walk, walk[1:]):
+            assert line_graph.has_edge(u, v)
+
+    def test_walk_stops_at_isolated_node(self):
+        g = MatchGraph()
+        g.add_node("solo")
+        walk = single_walk(g, "solo", 10, ensure_rng(3))
+        assert walk == ["solo"]
+
+    def test_number_of_walks(self, line_graph):
+        config = RandomWalkConfig(num_walks=3, walk_length=4)
+        walks = generate_walks(line_graph, config, seed=1)
+        assert len(walks) == 3 * line_graph.num_nodes()
+
+    def test_start_nodes_restriction(self, line_graph):
+        config = RandomWalkConfig(num_walks=2, walk_length=4, start_nodes=["a", "b"])
+        walks = generate_walks(line_graph, config, seed=1)
+        assert len(walks) == 4
+        assert {w[0] for w in walks} == {"a", "b"}
+
+    def test_unknown_start_nodes_skipped(self, line_graph):
+        config = RandomWalkConfig(num_walks=1, walk_length=4, start_nodes=["a", "ghost"])
+        walks = generate_walks(line_graph, config, seed=1)
+        assert len(walks) == 1
+
+    def test_walks_deterministic_given_seed(self, line_graph):
+        config = RandomWalkConfig(num_walks=2, walk_length=6)
+        assert generate_walks(line_graph, config, seed=5) == generate_walks(line_graph, config, seed=5)
+
+    def test_iter_walks_is_lazy_equivalent(self, line_graph):
+        config = RandomWalkConfig(num_walks=1, walk_length=3)
+        assert list(iter_walks(line_graph, config, seed=2)) == generate_walks(line_graph, config, seed=2)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            RandomWalkConfig(num_walks=0)
+        with pytest.raises(ValueError):
+            RandomWalkConfig(walk_length=0)
+
+
+class TestInMemoryKnowledgeBase:
+    def test_add_and_related(self):
+        kb = InMemoryKnowledgeBase()
+        kb.add_relation("Tarantino", "style", "Comedy")
+        assert kb.related("tarantino") == ["comedy"]
+        assert kb.related("comedy") == ["tarantino"]
+
+    def test_lookup_is_case_insensitive(self):
+        kb = InMemoryKnowledgeBase()
+        kb.add_relation("Willis", "starringOf", "Pulp Fiction")
+        assert "pulp fiction" in kb.related("WILLIS")
+
+    def test_self_relations_ignored(self):
+        kb = InMemoryKnowledgeBase()
+        kb.add_relation("a", "rel", "A")
+        assert len(kb) == 0
+
+    def test_unknown_term_returns_empty(self):
+        assert InMemoryKnowledgeBase().related("ghost") == []
+
+    def test_predicates_between(self):
+        kb = InMemoryKnowledgeBase()
+        kb.add_relation("a", "rel1", "b")
+        kb.add_relation("b", "rel2", "a")
+        assert kb.predicates_between("a", "b") == {"rel1", "rel2"}
+
+    def test_triple_validation(self):
+        with pytest.raises(ValueError):
+            Triple(subject="", predicate="p", object="o")
+
+    def test_merge(self):
+        kb1 = InMemoryKnowledgeBase(name="a")
+        kb1.add_relation("x", "r", "y")
+        kb2 = InMemoryKnowledgeBase(name="b")
+        kb2.add_relation("y", "r", "z")
+        merged = kb1.merge(kb2)
+        assert len(merged) == 2
+        assert set(merged.related("y")) == {"x", "z"}
+
+    def test_terms_and_has_term(self):
+        kb = InMemoryKnowledgeBase()
+        kb.add_relation("a", "r", "b")
+        assert kb.has_term("a") and not kb.has_term("c")
+        assert kb.terms() == ["a", "b"]
+
+
+class TestSyntheticKbBuilders:
+    def test_concept_kb_connects_cluster_members(self):
+        kb = build_concept_kb({"management": ["management", "planning", "organisation"]})
+        assert "management" in kb.related("planning")
+
+    def test_concept_kb_noise_relations(self):
+        kb = build_concept_kb(
+            {"x": ["a", "b"]}, noise_terms=["n1", "n2", "n3"], noise_relations=5, seed=1
+        )
+        assert len(kb) >= 3
+
+    def test_entity_kb_contains_useful_relations(self):
+        kb = build_entity_kb([("tarantino", "directorOf", "pulp fiction")])
+        assert "pulp fiction" in kb.related("tarantino")
+
+    def test_entity_kb_noise_fanout(self):
+        kb = build_entity_kb(
+            [("a", "r", "b")],
+            popular_entities=["a"],
+            noise_per_entity=10,
+            noise_vocabulary=["x", "y", "z"],
+            seed=1,
+        )
+        assert len(kb.related("a")) >= 10
+
+
+class TestSynonymLexicon:
+    def test_synonyms_of(self):
+        lex = build_synonym_lexicon({"plan": ["plan", "planning", "scheme"]})
+        assert lex.synonyms_of("plan") == {"planning", "scheme"}
+
+    def test_pairs(self):
+        lex = build_synonym_lexicon({"plan": ["plan", "planning", "scheme"]})
+        assert len(lex.pairs()) == 3
+
+    def test_small_synset_rejected(self):
+        lex = SynonymLexicon()
+        with pytest.raises(ValueError):
+            lex.add_synset("solo", ["only"])
+
+    def test_small_clusters_skipped_by_builder(self):
+        lex = build_synonym_lexicon({"a": ["one"], "b": ["x", "y"]})
+        assert len(lex) == 1
+
+    def test_to_knowledge_base(self):
+        lex = build_synonym_lexicon({"plan": ["plan", "planning"]})
+        kb = lex.to_knowledge_base()
+        assert "plan" in kb.related("planning")
+        # the member identical to the synset name collapses to a self-relation
+        assert len(kb) == 1
