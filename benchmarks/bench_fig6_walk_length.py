@@ -10,10 +10,10 @@ from __future__ import annotations
 
 from repro.eval.report import format_table
 
-from benchmarks.bench_utils import run_wrw, write_result
+from benchmarks.bench_utils import SMOKE, run_wrw, write_result
 
-SCENARIOS = ["imdb_wt", "corona_gen", "politifact"]
-WALK_LENGTHS = [5, 10, 20, 30]
+SCENARIOS = ["imdb_wt"] if SMOKE else ["imdb_wt", "corona_gen", "politifact"]
+WALK_LENGTHS = [5, 10] if SMOKE else [5, 10, 20, 30]
 
 
 def _build_series():
@@ -25,6 +25,7 @@ def _build_series():
                 {
                     "scenario": scenario_name,
                     "walk_length": length,
+                    "engine": run.pipeline.timings.note("walk_engine"),
                     "MAP@5": round(run.report.map_at[5], 3),
                     "MRR": round(run.report.mrr, 3),
                 }
@@ -38,8 +39,8 @@ def test_fig6_walk_length(benchmark):
     print("\n" + table)
     write_result("fig6_walk_length", table)
 
-    # Paper shape: longer walks never collapse quality, and length 20 is at
-    # least as good as length 5 for every scenario.
+    # Paper shape: longer walks never collapse quality, and the longest
+    # length is at least as good as length 5 for every scenario.
     by_key = {(r["scenario"], r["walk_length"]): r["MAP@5"] for r in rows}
     for scenario_name in SCENARIOS:
-        assert by_key[(scenario_name, 20)] >= by_key[(scenario_name, 5)] - 0.1
+        assert by_key[(scenario_name, WALK_LENGTHS[-1])] >= by_key[(scenario_name, 5)] - 0.1

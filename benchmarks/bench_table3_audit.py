@@ -17,8 +17,6 @@ from repro.eval.taxonomy_metrics import exact_scores, node_scores
 from benchmarks.bench_utils import (
     get_scenario,
     get_sbert_matcher,
-    run_doc2vec,
-    run_supervised,
     run_wrw,
     write_result,
 )

@@ -32,7 +32,7 @@ def _time_wrw(scenario_name: str):
     start = time.perf_counter()
     run.pipeline.match(k=20)
     test = (time.perf_counter() - start) / max(len(run.scenario.first), 1)
-    return train, test
+    return train, test, run.pipeline.timings.note("walk_engine", "-")
 
 
 def _time_sbert(scenario_name: str):
@@ -41,7 +41,7 @@ def _time_sbert(scenario_name: str):
     start = time.perf_counter()
     matcher.rank(scenario.query_texts(), scenario.candidate_texts(), k=20)
     total = time.perf_counter() - start
-    return 0.0, total / max(len(scenario.first), 1)
+    return 0.0, total / max(len(scenario.first), 1), "-"
 
 
 def _time_supervised(scenario_name: str):
@@ -58,7 +58,7 @@ def _time_supervised(scenario_name: str):
     start = time.perf_counter()
     matcher.rank(queries, candidates, k=20, query_ids=test_queries[:10])
     test = (time.perf_counter() - start) / max(min(len(test_queries), 10), 1)
-    return train, test
+    return train, test, "-"
 
 
 def _build_rows():
@@ -69,11 +69,12 @@ def _build_rows():
             ("s-be", _time_sbert),
             ("rank*", _time_supervised),
         ):
-            train, test = timer(scenario_name)
+            train, test, walk_engine = timer(scenario_name)
             rows.append(
                 {
                     "task": task,
                     "method": method,
+                    "walk_engine": walk_engine,
                     "train_s": round(train, 3),
                     "test_s_per_query": round(test, 5),
                 }

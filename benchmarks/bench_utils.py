@@ -18,7 +18,6 @@ import os
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence
 
-from repro.baselines.bert_classifier import BertLargeClassifier
 from repro.baselines.deepmatcher import DeepMatcherBaseline
 from repro.baselines.ditto import DittoMatcher
 from repro.baselines.doc2vec_baseline import Doc2VecMatcher
@@ -40,6 +39,10 @@ from repro.eval.report import format_table
 BENCH_SIZE = ScenarioSize(n_entities=30, n_queries=40, n_distractors=20)
 BENCH_SEED = 101
 DEFAULT_KS = (1, 5, 20)
+
+# CI smoke mode: shrink sweep grids so one bench script exercises the full
+# code path in seconds.  Set REPRO_BENCH_SMOKE=1 (the CI workflow does).
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
 
@@ -68,6 +71,7 @@ def wrw_config(
     vector_size: int = 64,
     epochs: int = 2,
     max_ngram: int = 3,
+    walk_engine: str = "csr",
 ) -> TDMatchConfig:
     """The benchmark-scale W-RW configuration for a task type."""
     if task == "text-to-data":
@@ -78,6 +82,7 @@ def wrw_config(
         config.word2vec.window = min(15, walk_length)
     config.walks.num_walks = num_walks
     config.walks.walk_length = walk_length
+    config.walks.walk_engine = walk_engine
     config.word2vec.vector_size = vector_size
     config.word2vec.epochs = epochs
     config.builder.preprocess.max_ngram = max_ngram
@@ -112,11 +117,16 @@ def run_wrw(
     bucket_numeric: bool = False,
     merge_pretrained: bool = False,
     seed: int = 7,
+    walk_engine: str = "csr",
 ) -> WrwRun:
     """Run (and cache) the W-RW pipeline on a named benchmark scenario."""
     scenario = get_scenario(scenario_name)
     config = wrw_config(
-        scenario.task, num_walks=num_walks, walk_length=walk_length, max_ngram=max_ngram
+        scenario.task,
+        num_walks=num_walks,
+        walk_length=walk_length,
+        max_ngram=max_ngram,
+        walk_engine=walk_engine,
     )
     config.builder.filter_strategy_name = filter_strategy
     config.builder.connect_structured_metadata = connect_metadata

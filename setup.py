@@ -14,6 +14,6 @@ setup(
     description="TDmatch reproduction: unsupervised matching of data and text (ICDE 2022)",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
-    python_requires=">=3.10",
+    python_requires=">=3.9",
     install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
 )

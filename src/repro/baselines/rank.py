@@ -9,14 +9,13 @@ the differences (RankNet with a linear scorer).
 
 from __future__ import annotations
 
-from typing import List, Mapping, Optional, Sequence, Set, Tuple
+from typing import List, Mapping, Optional, Sequence, Set
 
 import numpy as np
 
 from repro.baselines.features import PairFeatureExtractor
 from repro.baselines.nn import LogisticRegression, TrainingConfig
 from repro.baselines.supervised import SupervisedPairMatcher
-from repro.eval.ranking import Ranking, RankingSet
 from repro.utils.rng import ensure_rng
 
 

@@ -14,7 +14,6 @@ from typing import Mapping, Optional
 
 import numpy as np
 
-from repro.baselines.tfidf import _prepare
 from repro.embeddings.pretrained import PretrainedEmbeddings, build_synthetic_pretrained
 from repro.embeddings.sentence import SentenceEncoder
 from repro.embeddings.similarity import cosine_matrix, top_k_neighbors

@@ -15,7 +15,7 @@ Sub-classes only customise the feature extractor and the learner.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 

@@ -43,6 +43,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--k", type=int, default=20, help="top-k candidates per query")
     parser.add_argument("--num-walks", type=int, default=10, help="random walks per node")
     parser.add_argument("--walk-length", type=int, default=15, help="random walk length")
+    parser.add_argument(
+        "--walk-engine",
+        choices=["csr", "python"],
+        default="csr",
+        help="walk implementation: vectorized CSR (default) or reference python stepping",
+    )
     parser.add_argument("--vector-size", type=int, default=64, help="embedding dimensionality")
     parser.add_argument("--epochs", type=int, default=2, help="Word2Vec epochs")
     parser.add_argument("--expansion", action="store_true", help="expand the graph with the scenario KB")
@@ -70,6 +76,7 @@ def run(args: argparse.Namespace) -> int:
         config = TDMatchConfig.for_text_tasks()
     config.walks.num_walks = args.num_walks
     config.walks.walk_length = args.walk_length
+    config.walks.walk_engine = args.walk_engine
     config.word2vec.vector_size = args.vector_size
     config.word2vec.epochs = args.epochs
     if args.expansion and scenario.kb is not None:
@@ -93,7 +100,8 @@ def run(args: argparse.Namespace) -> int:
         for stage, seconds in pipeline.timings.as_dict().items()
     ]
     print()
-    print(format_table(timing_rows, title="Stage timings"))
+    engine = pipeline.timings.note("walk_engine", args.walk_engine)
+    print(format_table(timing_rows, title=f"Stage timings (walk engine: {engine})"))
     return 0
 
 

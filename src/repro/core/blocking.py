@@ -25,9 +25,8 @@ from __future__ import annotations
 import math
 from collections import Counter, defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Set
+from typing import Dict, List, Mapping, Optional, Set
 
-import numpy as np
 
 from repro.core.matcher import MetadataMatcher
 from repro.eval.ranking import Ranking, RankingSet

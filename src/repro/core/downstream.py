@@ -12,7 +12,7 @@ a raw cosine ranking.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import List, Mapping, Optional, Sequence, Set
 
 import numpy as np
 

@@ -8,7 +8,7 @@ pre-trained sentence encoder, the combination evaluated in Figure 10.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
 

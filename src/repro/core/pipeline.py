@@ -19,8 +19,9 @@ Typical use::
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 import numpy as np
 
@@ -42,13 +43,27 @@ from repro.graph.compression import (
     ssum_compress,
 )
 from repro.graph.expansion import ExpansionResult, expand_graph
-from repro.graph.merging import EmbeddingMerger, MergeReport, NumericBucketer
-from repro.graph.walks import generate_walks
+from repro.graph.merging import EmbeddingMerger, NumericBucketer
+from repro.graph.walk_engine import make_walk_engine
 from repro.utils.logging import get_logger
 from repro.utils.rng import derive_rng
-from repro.utils.timing import TimingRegistry
+from repro.utils.timing import Stopwatch, TimingRegistry
 
 logger = get_logger(__name__)
+
+
+def _timed_iter(items: Iterable[List[str]], stopwatch: Stopwatch) -> Iterator[List[str]]:
+    """Yield from ``items`` while charging production time to ``stopwatch``."""
+    iterator = iter(items)
+    while True:
+        stopwatch.start()
+        try:
+            item = next(iterator)
+        except StopIteration:
+            stopwatch.stop()
+            return
+        stopwatch.stop()
+        yield item
 
 
 @dataclass
@@ -98,13 +113,21 @@ class TDMatch:
         expansion = self._apply_expansion(built)
         compression = self._apply_compression(built)
 
-        with self.timings.measure("walks"):
-            walks = generate_walks(
-                built.graph, self.config.walks, seed=derive_rng(self.seed, "walks")
-            )
-        with self.timings.measure("word2vec"):
-            model = Word2Vec(self.config.word2vec, seed=derive_rng(self.seed, "word2vec"))
-            model.train(walks)
+        # Walk sentences stream straight into Word2Vec training instead of
+        # materialising the full corpus first; the stopwatch around each
+        # ``next()`` keeps "walks" and "word2vec" separately attributed.
+        engine = make_walk_engine(built.graph, self.config.walks)
+        walk_timer = Stopwatch()
+        sentences = _timed_iter(
+            engine.iter_walks(seed=derive_rng(self.seed, "walks")), walk_timer
+        )
+        train_start = time.perf_counter()
+        model = Word2Vec(self.config.word2vec, seed=derive_rng(self.seed, "word2vec"))
+        model.train(sentences)
+        train_total = time.perf_counter() - train_start
+        self.timings.add("walks", walk_timer.stop())
+        self.timings.add("word2vec", max(0.0, train_total - walk_timer.elapsed))
+        self.timings.set_note("walk_engine", engine.name)
 
         self._state = PipelineState(
             built=built,

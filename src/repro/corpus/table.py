@@ -7,7 +7,7 @@ creates a metadata node per row and per column (Algorithm 1, lines 3-10).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
 
 

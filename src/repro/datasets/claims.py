@@ -13,7 +13,7 @@ the paper (43 vs 18 tokens on average) — controlled by ``query_style``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.corpus.documents import TextCorpus
 from repro.datasets.base import MatchingScenario, ScenarioSize

@@ -16,7 +16,7 @@ threshold semantics carry over:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Optional, Set
 
 from repro.corpus.documents import TextCorpus
 from repro.datasets.base import MatchingScenario, ScenarioSize

@@ -17,6 +17,10 @@ Modules
     Algorithm 3 (MSP) plus the SSP, SSuM-style, and random-sampling baselines.
 ``walks``
     Random-walk corpus generation (walk half of Algorithm 4).
+``csr``
+    Immutable CSR snapshot of the graph, cached against its version.
+``walk_engine``
+    Pluggable walk engines: reference python stepping vs vectorised CSR.
 """
 
 from repro.graph.graph import MatchGraph, NodeKind
@@ -32,7 +36,13 @@ from repro.graph.compression import (
     random_node_compress,
     random_edge_compress,
 )
-from repro.graph.walks import RandomWalkConfig, generate_walks
+from repro.graph.walks import RandomWalkConfig, generate_walks, iter_walks
+from repro.graph.csr import CSRAdjacency, build_csr, csr_adjacency
+from repro.graph.walk_engine import (
+    CSRWalkEngine,
+    PythonWalkEngine,
+    make_walk_engine,
+)
 
 __all__ = [
     "MatchGraph",
@@ -56,4 +66,11 @@ __all__ = [
     "random_edge_compress",
     "RandomWalkConfig",
     "generate_walks",
+    "iter_walks",
+    "CSRAdjacency",
+    "build_csr",
+    "csr_adjacency",
+    "CSRWalkEngine",
+    "PythonWalkEngine",
+    "make_walk_engine",
 ]

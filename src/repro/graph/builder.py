@@ -20,7 +20,7 @@ so that a term can never collide with a document identifier.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.corpus.documents import TextCorpus
 from repro.corpus.table import Table

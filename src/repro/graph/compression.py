@@ -21,9 +21,9 @@ Baselines implemented for Table VIII and the related-work comparison:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-from repro.graph.graph import MatchGraph, NodeKind
+from repro.graph.graph import MatchGraph
 from repro.utils.rng import ensure_rng
 
 
@@ -219,7 +219,7 @@ def ssum_compress(
     # so the summarized graph stays walkable.
     original_data_count = len(graph.data_nodes())
     target_data = max(4, int(target_ratio * original_data_count))
-    removable = [l for l in compressed.data_nodes()]
+    removable = list(compressed.data_nodes())
     # Shuffle then sort by degree so ties are broken randomly but reproducibly.
     order = list(rng.permutation(len(removable)))
     removable = [removable[i] for i in order]

@@ -1,0 +1,128 @@
+"""Immutable CSR (compressed sparse row) snapshot of a :class:`MatchGraph`.
+
+The dict-of-sets adjacency of :class:`~repro.graph.graph.MatchGraph` is the
+right structure for incremental construction, merging, and compression, but
+it is the wrong structure for random-walk generation: Algorithm 4 takes
+``num_walks × num_nodes × walk_length`` neighbour samples, and each sample
+through the dict costs a hash lookup, a set→tuple conversion, and one Python
+``rng.integers`` call.
+
+:class:`CSRAdjacency` freezes the topology into two numpy arrays —
+``indptr`` (row offsets, one row per node) and ``indices`` (concatenated
+neighbour ids) — plus label↔id translation tables.  The vectorised walk
+engine advances thousands of walks per numpy call against these arrays.
+
+Snapshots are cached on the graph instance and keyed by the graph's
+structural :attr:`~repro.graph.graph.MatchGraph.version`, so repeated walk
+generations reuse the snapshot while any mutation (node/edge add or remove,
+merging, compression) transparently invalidates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.graph.graph import MatchGraph
+
+# Attribute under which the (version, snapshot) pair is cached on the graph.
+_CACHE_ATTR = "_csr_cache"
+
+
+@dataclass(frozen=True)
+class CSRAdjacency:
+    """Frozen CSR view of an undirected graph.
+
+    Attributes
+    ----------
+    indptr:
+        ``int64`` array of shape ``(num_nodes + 1,)``; the neighbours of
+        node ``i`` are ``indices[indptr[i]:indptr[i + 1]]``.
+    indices:
+        ``int32`` array of concatenated neighbour ids, sorted within each
+        row for deterministic layout.
+    labels:
+        Node id → label (insertion order of the source graph).
+    ids:
+        Node label → id (inverse of ``labels``).
+    graph_version:
+        The structural version of the source graph at snapshot time.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    labels: List[str]
+    ids: Dict[str, int] = field(repr=False)
+    graph_version: int = 0
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.labels)
+
+    @property
+    def num_directed_edges(self) -> int:
+        return int(self.indices.size)
+
+    def degrees(self) -> np.ndarray:
+        """Degree of every node as an ``int64`` array."""
+        return np.diff(self.indptr)
+
+    def degree_of(self, node_ids: np.ndarray) -> np.ndarray:
+        """Degrees of the given node ids (vectorised)."""
+        return self.indptr[node_ids + 1] - self.indptr[node_ids]
+
+    def neighbors_of(self, node_id: int) -> np.ndarray:
+        """Neighbour ids of one node (a view into ``indices``)."""
+        return self.indices[self.indptr[node_id] : self.indptr[node_id + 1]]
+
+    def encode(self, labels: Sequence[str]) -> np.ndarray:
+        """Translate labels to an ``int32`` id array (labels must exist)."""
+        return np.fromiter(
+            (self.ids[label] for label in labels), dtype=np.int32, count=len(labels)
+        )
+
+    def decode(self, node_ids: Sequence[int]) -> List[str]:
+        """Translate an id sequence back to labels."""
+        labels = self.labels
+        return [labels[int(i)] for i in node_ids]
+
+
+def build_csr(graph: MatchGraph) -> CSRAdjacency:
+    """Build a fresh CSR snapshot of ``graph`` (no caching)."""
+    labels = graph.nodes()
+    n = len(labels)
+    ids = {label: i for i, label in enumerate(labels)}
+
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    for i, label in enumerate(labels):
+        indptr[i + 1] = indptr[i] + graph.degree(label)
+
+    indices = np.empty(int(indptr[-1]), dtype=np.int32)
+    for i, label in enumerate(labels):
+        row = sorted(ids[neighbor] for neighbor in graph.neighbors(label))
+        indices[indptr[i] : indptr[i + 1]] = row
+
+    snapshot = CSRAdjacency(
+        indptr=indptr,
+        indices=indices,
+        labels=labels,
+        ids=ids,
+        graph_version=graph.version,
+    )
+    return snapshot
+
+
+def csr_adjacency(graph: MatchGraph) -> CSRAdjacency:
+    """The CSR snapshot of ``graph``, cached against its structural version.
+
+    The first call after any mutation rebuilds the snapshot; further calls
+    return the cached object unchanged.
+    """
+    cached = getattr(graph, _CACHE_ATTR, None)
+    if cached is not None and cached.graph_version == graph.version:
+        return cached
+    snapshot = build_csr(graph)
+    setattr(graph, _CACHE_ATTR, snapshot)
+    return snapshot

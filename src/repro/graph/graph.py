@@ -65,6 +65,15 @@ class MatchGraph:
         self._adjacency: Dict[str, Set[str]] = {}
         self._info: Dict[str, NodeInfo] = {}
         self._edge_count = 0
+        # Structural version: bumped on every topology mutation.  Derived
+        # snapshots (the CSR adjacency used by the vectorised walk engine)
+        # cache themselves against this counter and rebuild when it moves.
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter of structural mutations (nodes/edges)."""
+        return self._version
 
     # ------------------------------------------------------------------
     # Nodes
@@ -95,6 +104,7 @@ class MatchGraph:
             role = "term" if kind == NodeKind.DATA else "document"
         self._info[label] = NodeInfo(label=label, kind=kind, corpus=corpus, role=role)
         self._adjacency[label] = set()
+        self._version += 1
         return True
 
     def has_node(self, label: str) -> bool:
@@ -109,6 +119,7 @@ class MatchGraph:
             self._edge_count -= 1
         del self._adjacency[label]
         del self._info[label]
+        self._version += 1
 
     def node_info(self, label: str) -> NodeInfo:
         return self._info[label]
@@ -139,6 +150,7 @@ class MatchGraph:
         self._adjacency[u].add(v)
         self._adjacency[v].add(u)
         self._edge_count += 1
+        self._version += 1
         return True
 
     def has_edge(self, u: str, v: str) -> bool:
@@ -150,6 +162,7 @@ class MatchGraph:
         self._adjacency[u].discard(v)
         self._adjacency[v].discard(u)
         self._edge_count -= 1
+        self._version += 1
 
     def neighbors(self, label: str) -> Set[str]:
         """The neighbour set of a node (do not mutate)."""
@@ -328,7 +341,7 @@ class MatchGraph:
 
     def subgraph(self, labels: Iterable[str]) -> "MatchGraph":
         """Induced subgraph on ``labels`` (unknown labels are ignored)."""
-        keep = {l for l in labels if l in self._info}
+        keep = {label for label in labels if label in self._info}
         sub = MatchGraph()
         for label in keep:
             info = self._info[label]

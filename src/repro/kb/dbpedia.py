@@ -11,7 +11,7 @@ facts (the noise the compression step has to prune — DBpedia lists more than
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.kb.knowledge_base import InMemoryKnowledgeBase
 from repro.utils.rng import ensure_rng

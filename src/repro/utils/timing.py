@@ -46,12 +46,25 @@ class Stopwatch:
 
 @dataclass
 class TimingRegistry:
-    """Accumulates named timing measurements (seconds)."""
+    """Accumulates named timing measurements (seconds) and free-form notes.
+
+    Notes annotate the measurements with provenance the benchmark tables
+    report next to the times — e.g. which walk engine produced the "walks"
+    row, or the measured speedup of one engine over another.
+    """
 
     records: Dict[str, List[float]] = field(default_factory=dict)
+    notes: Dict[str, str] = field(default_factory=dict)
 
     def add(self, name: str, seconds: float) -> None:
         self.records.setdefault(name, []).append(float(seconds))
+
+    def set_note(self, name: str, value: str) -> None:
+        """Attach a provenance note (overwrites an existing note)."""
+        self.notes[name] = str(value)
+
+    def note(self, name: str, default: str = "") -> str:
+        return self.notes.get(name, default)
 
     def total(self, name: str) -> float:
         return sum(self.records.get(name, []))

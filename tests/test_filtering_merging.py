@@ -1,6 +1,5 @@
 """Tests for data-node filtering strategies and node merging."""
 
-import numpy as np
 import pytest
 
 from repro.embeddings.pretrained import build_synthetic_pretrained, synonym_pairs_from_clusters

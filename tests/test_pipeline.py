@@ -1,6 +1,5 @@
 """Tests for the end-to-end TDMatch pipeline."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import (

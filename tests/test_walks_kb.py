@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.graph.graph import MatchGraph, NodeKind
+from repro.graph.graph import MatchGraph
 from repro.graph.walks import RandomWalkConfig, generate_walks, iter_walks, single_walk
 from repro.kb.conceptnet import build_concept_kb
 from repro.kb.dbpedia import build_entity_kb
