@@ -26,6 +26,9 @@ def _build_series():
                     "filtering": strategy,
                     "graph_nodes": run.graph.num_nodes(),
                     "MAP@5": round(run.report.map_at[5], 3),
+                    # retrieval-layer provenance: backend + pairs scored
+                    "retrieval": run.match_stats.backend,
+                    "pairs": run.match_stats.scored_pairs,
                 }
             )
     return rows

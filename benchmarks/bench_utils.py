@@ -90,12 +90,18 @@ def wrw_config(
 
 
 class WrwRun:
-    """A fitted W-RW pipeline with its rankings and quality report."""
+    """A fitted W-RW pipeline with its rankings and quality report.
+
+    Matching routes through the retrieval subsystem; ``match_stats`` holds
+    the backend provenance (:class:`repro.retrieval.RetrievalStats`).
+    """
 
     def __init__(self, scenario: MatchingScenario, pipeline: TDMatch, k: int = 20):
         self.scenario = scenario
         self.pipeline = pipeline
-        self.rankings = pipeline.match(k=k)
+        result = pipeline.match_result(k=k)
+        self.rankings = result.rankings
+        self.match_stats = result.retrieval
         self.report = evaluate_rankings("w-rw", self.rankings, scenario.gold, ks=DEFAULT_KS)
 
     @property

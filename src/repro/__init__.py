@@ -19,12 +19,14 @@ from repro.core.config import (
     CompressionConfig,
     ExpansionConfig,
     MergeConfig,
+    RetrievalConfig,
     TDMatchConfig,
 )
 from repro.core.matcher import MetadataMatcher, combine_score_matrices
 from repro.core.pipeline import MatchResult, TDMatch
 from repro.corpus import Document, Table, Taxonomy, TextCorpus
 from repro.eval.metrics import evaluate_rankings
+from repro.retrieval import BlockedTopK, CombinedTopK, DenseTopK
 
 __version__ = "1.0.0"
 
@@ -34,9 +36,13 @@ __all__ = [
     "MergeConfig",
     "ExpansionConfig",
     "CompressionConfig",
+    "RetrievalConfig",
     "MatchResult",
     "MetadataMatcher",
     "combine_score_matrices",
+    "DenseTopK",
+    "BlockedTopK",
+    "CombinedTopK",
     "Document",
     "TextCorpus",
     "Table",

@@ -4,6 +4,7 @@ Examples::
 
     python -m repro.cli --scenario imdb_wt --size tiny --k 5
     python -m repro.cli --scenario audit --expansion --compression msp --ratio 0.5
+    python -m repro.cli --scenario imdb_wt --blocking token --k 5
     python -m repro.cli --list
 
 The CLI generates the requested synthetic scenario, runs the W-RW pipeline
@@ -18,6 +19,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.core.blocking import TextQueryBlocker, TokenBlocking
 from repro.core.config import CompressionConfig, ExpansionConfig, TDMatchConfig
 from repro.core.pipeline import TDMatch
 from repro.datasets import SCENARIO_GENERATORS, ScenarioSize, generate_scenario
@@ -49,6 +51,24 @@ def build_parser() -> argparse.ArgumentParser:
         default="csr",
         help="walk implementation: vectorized CSR (default) or reference python stepping",
     )
+    parser.add_argument(
+        "--retrieval-backend",
+        choices=["dense", "blocked"],
+        default="dense",
+        help="matching backend: exact chunked dense top-k (default) or blocked scoring",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=1024,
+        help="query rows scored per matmul by the dense backend (bounds memory)",
+    )
+    parser.add_argument(
+        "--blocking",
+        choices=["token", "neighborhood"],
+        help="candidate blocker for the blocked backend (implies --retrieval-backend blocked): "
+        "shared-token inverted index or graph neighbourhood",
+    )
     parser.add_argument("--vector-size", type=int, default=64, help="embedding dimensionality")
     parser.add_argument("--epochs", type=int, default=2, help="Word2Vec epochs")
     parser.add_argument("--expansion", action="store_true", help="expand the graph with the scenario KB")
@@ -79,6 +99,13 @@ def run(args: argparse.Namespace) -> int:
     config.walks.walk_engine = args.walk_engine
     config.word2vec.vector_size = args.vector_size
     config.word2vec.epochs = args.epochs
+    backend = args.retrieval_backend
+    if args.blocking and backend != "blocked":
+        backend = "blocked"  # --blocking implies the blocked backend
+    config.retrieval.backend = backend
+    config.retrieval.chunk_size = args.chunk_size
+    if args.blocking:
+        config.retrieval.blocking = args.blocking
     if args.expansion and scenario.kb is not None:
         config.expansion = ExpansionConfig(resource=scenario.kb)
     if args.compression:
@@ -90,7 +117,20 @@ def run(args: argparse.Namespace) -> int:
         f"\ngraph: {pipeline.graph.num_nodes()} nodes, {pipeline.graph.num_edges()} edges"
     )
 
-    rankings = pipeline.match(k=args.k)
+    # Token blocking needs the corpus texts, which the fitted pipeline does
+    # not retain — build the blocker from the scenario and hand it over.
+    blocker = None
+    if backend == "blocked" and args.blocking == "token":
+        token_blocking = TokenBlocking().fit(scenario.candidate_texts())
+        blocker = TextQueryBlocker(token_blocking, scenario.query_texts())
+
+    result = pipeline.match_result(k=args.k, blocker=blocker)
+    rankings = result.rankings
+    stats = result.retrieval
+    print(
+        f"retrieval: backend={stats.backend} scored_pairs={stats.scored_pairs}"
+        f"/{stats.all_pairs} reduction_ratio={stats.reduction_ratio:.3f}"
+    )
     report = evaluate_rankings("w-rw", rankings, scenario.gold, ks=(1, 5, min(20, args.k)))
     print()
     print(format_quality_table([report], ks=(1, 5, min(20, args.k)), title="Match quality"))

@@ -4,9 +4,16 @@ from repro.core.config import (
     CompressionConfig,
     ExpansionConfig,
     MergeConfig,
+    RetrievalConfig,
     TDMatchConfig,
 )
-from repro.core.blocking import BlockedMatcher, MetadataNeighborhoodBlocking, TokenBlocking
+from repro.core.blocking import (
+    BlockedMatcher,
+    GraphQueryBlocker,
+    MetadataNeighborhoodBlocking,
+    TextQueryBlocker,
+    TokenBlocking,
+)
 from repro.core.downstream import EmbeddingPairClassifier
 from repro.core.exceptions import NotFittedError, PipelineError
 from repro.core.matcher import MetadataMatcher, combine_score_matrices
@@ -21,8 +28,11 @@ __all__ = [
     "MatchResult",
     "MetadataMatcher",
     "combine_score_matrices",
+    "RetrievalConfig",
     "TokenBlocking",
     "MetadataNeighborhoodBlocking",
+    "TextQueryBlocker",
+    "GraphQueryBlocker",
     "BlockedMatcher",
     "EmbeddingPairClassifier",
     "NotFittedError",

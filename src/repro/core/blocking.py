@@ -15,9 +15,17 @@ Two blockers are provided:
   node in the match graph.  This reuses the structure the pipeline already
   built and therefore needs no extra text processing.
 
+Both are lifted to the per-query-id
+:class:`~repro.retrieval.base.QueryBlocker` interface by
+:class:`TextQueryBlocker` / :class:`GraphQueryBlocker`, which is what
+:class:`~repro.retrieval.blocked.BlockedTopK` consumes — so either blocker
+plugs into :class:`BlockedMatcher` and ``TDMatch.match`` alike.
+
 :class:`BlockedMatcher` combines a blocker with a fitted
-:class:`~repro.core.matcher.MetadataMatcher`: it ranks only the blocked
-candidates and falls back to the full ranking when a block is empty.
+:class:`~repro.core.matcher.MetadataMatcher`: it *scores* only the blocked
+pairs (exactly ``BlockingStatistics.compared_pairs`` of them — the full
+score matrix is never computed) and falls back to the full ranking when a
+block is empty.
 """
 
 from __future__ import annotations
@@ -25,12 +33,14 @@ from __future__ import annotations
 import math
 from collections import Counter, defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Set
+from typing import Dict, List, Mapping, Optional, Set, Union
 
 
 from repro.core.matcher import MetadataMatcher
-from repro.eval.ranking import Ranking, RankingSet
+from repro.eval.ranking import RankingSet
 from repro.graph.graph import MatchGraph
+from repro.retrieval import BlockedTopK
+from repro.retrieval.base import QueryBlocker
 from repro.text.preprocess import Preprocessor
 
 
@@ -127,6 +137,49 @@ class MetadataNeighborhoodBlocking:
         return block
 
 
+# ----------------------------------------------------------------------
+# QueryBlocker adapters: per-query-id blocks for the retrieval layer.
+class TextQueryBlocker:
+    """Adapts :class:`TokenBlocking` to the ``QueryBlocker`` interface.
+
+    ``query_texts`` maps query id → text; queries without a text get an
+    empty block (triggering the fallback when enabled).
+    """
+
+    def __init__(self, blocking: TokenBlocking, query_texts: Mapping[str, str]):
+        self.blocking = blocking
+        self.query_texts = dict(query_texts)
+
+    def block_for(self, query_id: str) -> List[str]:
+        text = self.query_texts.get(query_id, "")
+        return self.blocking.block(text) if text else []
+
+
+class GraphQueryBlocker:
+    """Adapts :class:`MetadataNeighborhoodBlocking` to ``QueryBlocker``.
+
+    ``query_labels`` / ``candidate_labels`` map object ids to their
+    metadata-node labels in the match graph (the pipeline's
+    ``BuiltGraph.first_metadata`` / ``second_metadata``).
+    """
+
+    def __init__(
+        self,
+        blocking: MetadataNeighborhoodBlocking,
+        query_labels: Mapping[str, str],
+        candidate_labels: Mapping[str, str],
+    ):
+        self.blocking = blocking
+        self.query_labels = dict(query_labels)
+        self.candidate_labels = dict(candidate_labels)
+
+    def block_for(self, query_id: str) -> List[str]:
+        label = self.query_labels.get(query_id)
+        if label is None:
+            return []
+        return self.blocking.block(label, self.candidate_labels)
+
+
 @dataclass
 class BlockingStatistics:
     """How much work blocking saved compared to the all-pairs comparison."""
@@ -149,18 +202,47 @@ class BlockingStatistics:
 
 
 class BlockedMatcher:
-    """Rank only the blocked candidates of each query with the embeddings."""
+    """Rank only the blocked candidates of each query with the embeddings.
+
+    ``blocker`` may be a fitted :class:`TokenBlocking` (then ``query_texts``
+    supplies the per-query text, as before), a
+    :class:`MetadataNeighborhoodBlocking` (then ``query_labels`` and
+    ``candidate_labels`` supply the object-id → metadata-label maps), or any
+    ready-made :class:`~repro.retrieval.base.QueryBlocker`.
+
+    Matching routes through :class:`~repro.retrieval.blocked.BlockedTopK`,
+    so exactly ``statistics.compared_pairs`` similarity values are computed
+    — the all-pairs score matrix is never materialised.
+
+    Score ties are broken by candidate *index* (position in the matcher's
+    candidate list), the retrieval layer's uniform contract.  The historical
+    implementation broke ties by candidate id string, so tied candidates may
+    order differently than before this refactor.
+    """
 
     def __init__(
         self,
         matcher: MetadataMatcher,
-        blocker: TokenBlocking,
-        query_texts: Mapping[str, str],
+        blocker: Union[TokenBlocking, MetadataNeighborhoodBlocking, QueryBlocker],
+        query_texts: Optional[Mapping[str, str]] = None,
         fallback_to_full: bool = True,
+        query_labels: Optional[Mapping[str, str]] = None,
+        candidate_labels: Optional[Mapping[str, str]] = None,
     ):
         self.matcher = matcher
-        self.blocker = blocker
-        self.query_texts = dict(query_texts)
+        if isinstance(blocker, TokenBlocking):
+            if query_texts is None:
+                raise ValueError("TokenBlocking needs query_texts")
+            query_blocker: QueryBlocker = TextQueryBlocker(blocker, query_texts)
+        elif isinstance(blocker, MetadataNeighborhoodBlocking):
+            if query_labels is None or candidate_labels is None:
+                raise ValueError(
+                    "MetadataNeighborhoodBlocking needs query_labels and candidate_labels"
+                )
+            query_blocker = GraphQueryBlocker(blocker, query_labels, candidate_labels)
+        else:
+            query_blocker = blocker
+        self.blocker = query_blocker
         self.fallback_to_full = fallback_to_full
         self._stats: Optional[BlockingStatistics] = None
 
@@ -170,30 +252,12 @@ class BlockedMatcher:
         return self._stats
 
     def match(self, k: int = 20) -> RankingSet:
-        scores = self.matcher.score_matrix()
-        candidate_index = {cid: i for i, cid in enumerate(self.matcher.candidate_ids)}
-        rankings = RankingSet()
-        compared = 0
-        empty_blocks = 0
-        for row, query_id in enumerate(self.matcher.query_ids):
-            text = self.query_texts.get(query_id, "")
-            block = self.blocker.block(text) if text else []
-            block = [cid for cid in block if cid in candidate_index]
-            if not block:
-                empty_blocks += 1
-                if self.fallback_to_full:
-                    block = list(self.matcher.candidate_ids)
-            compared += len(block)
-            scored = [(cid, float(scores[row, candidate_index[cid]])) for cid in block]
-            scored.sort(key=lambda pair: (-pair[1], pair[0]))
-            ranking = Ranking(query_id=query_id)
-            for cid, score in scored[:k]:
-                ranking.add(cid, score)
-            rankings.add(ranking)
+        backend = BlockedTopK(self.blocker, fallback_to_full=self.fallback_to_full)
+        rankings, stats = self.matcher.match_with_stats(k=k, backend=backend)
         self._stats = BlockingStatistics(
-            n_queries=len(self.matcher.query_ids),
-            n_candidates=len(self.matcher.candidate_ids),
-            compared_pairs=compared,
-            empty_blocks=empty_blocks,
+            n_queries=stats.n_queries,
+            n_candidates=stats.n_candidates,
+            compared_pairs=stats.scored_pairs,
+            empty_blocks=stats.empty_blocks,
         )
         return rankings

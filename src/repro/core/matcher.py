@@ -2,18 +2,24 @@
 
 Given vectors for the metadata nodes of the two corpora, the matcher ranks,
 for every query object, the candidate objects of the other corpus by cosine
-similarity.  It also supports averaging its score matrix with the one of a
-pre-trained sentence encoder, the combination evaluated in Figure 10.
+similarity.  The ranking itself is delegated to a pluggable
+:class:`~repro.retrieval.base.RetrievalBackend` (dense chunked scoring by
+default; see :mod:`repro.retrieval`), and the matcher also supports
+averaging its score matrix with the one of a pre-trained sentence encoder —
+the combination evaluated in Figure 10, implemented by
+:class:`~repro.retrieval.combined.CombinedTopK`.
 """
 
 from __future__ import annotations
 
-from typing import List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.embeddings.similarity import cosine_matrix, top_k_neighbors
 from repro.eval.ranking import Ranking, RankingSet
+from repro.retrieval import CombinedTopK, DenseTopK, RetrievalStats, combine_scores
+from repro.retrieval.base import RetrievalBackend
 
 
 def _matrix_from_vectors(ids: Sequence[str], vectors: Mapping[str, np.ndarray], dim: int) -> np.ndarray:
@@ -29,38 +35,26 @@ def combine_score_matrices(matrices: Sequence[np.ndarray], weights: Optional[Seq
     """Average several score matrices (Figure 10's W-RW & S-BE combination).
 
     Each matrix is min-max normalised per query row before averaging so that
-    methods with different score scales contribute equally.
+    methods with different score scales contribute equally; constant rows
+    contribute 0.  Delegates to the vectorised
+    :func:`repro.retrieval.combined.combine_scores`.
     """
-    if not matrices:
-        raise ValueError("at least one score matrix is required")
-    shape = matrices[0].shape
-    for m in matrices:
-        if m.shape != shape:
-            raise ValueError("all score matrices must have the same shape")
-    if weights is None:
-        weights = [1.0] * len(matrices)
-    if len(weights) != len(matrices):
-        raise ValueError("weights must match the number of matrices")
-    total = np.zeros(shape, dtype=float)
-    for matrix, weight in zip(matrices, weights):
-        normalised = np.zeros_like(matrix, dtype=float)
-        for i, row in enumerate(matrix):
-            low, high = float(row.min()), float(row.max())
-            if high > low:
-                normalised[i] = (row - low) / (high - low)
-            else:
-                normalised[i] = 0.0
-        total += weight * normalised
-    return total / sum(weights)
+    return combine_scores(matrices, weights=weights)
 
 
 class MetadataMatcher:
-    """Ranks candidate objects for query objects using vector similarity."""
+    """Ranks candidate objects for query objects using vector similarity.
+
+    ``backend`` selects the retrieval implementation; ``None`` uses a
+    :class:`~repro.retrieval.dense.DenseTopK` with ``dtype=None`` so scores
+    stay in the input (float64) precision of the reference implementation.
+    """
 
     def __init__(
         self,
         query_vectors: Mapping[str, np.ndarray],
         candidate_vectors: Mapping[str, np.ndarray],
+        backend: Optional[RetrievalBackend] = None,
     ):
         if not query_vectors:
             raise ValueError("query_vectors is empty")
@@ -76,21 +70,59 @@ class MetadataMatcher:
         self._dim = dims.pop()
         self._query_matrix = _matrix_from_vectors(self.query_ids, query_vectors, self._dim)
         self._candidate_matrix = _matrix_from_vectors(self.candidate_ids, candidate_vectors, self._dim)
+        self.backend: RetrievalBackend = backend if backend is not None else DenseTopK(dtype=None)
         self._scores: Optional[np.ndarray] = None
+        self._last_stats: Optional[RetrievalStats] = None
 
     # ------------------------------------------------------------------
+    @property
+    def retrieval_stats(self) -> Optional[RetrievalStats]:
+        """Stats of the last backend-routed :meth:`match` call."""
+        return self._last_stats
+
     def score_matrix(self) -> np.ndarray:
-        """Cosine similarity matrix (queries × candidates), cached."""
+        """Cosine similarity matrix (queries × candidates), cached.
+
+        Only needed for score-level operations (external combination); the
+        top-k path never materialises it.
+        """
         if self._scores is None:
             self._scores = cosine_matrix(self._query_matrix, self._candidate_matrix)
         return self._scores
 
+    def match_with_stats(
+        self, k: int = 20, backend: Optional[RetrievalBackend] = None
+    ) -> Tuple[RankingSet, RetrievalStats]:
+        """Top-k ranking per query plus the backend's work statistics."""
+        backend = backend if backend is not None else self.backend
+        # A full-precision dense pass over an already-cached score matrix
+        # (e.g. a second match() after match_combined) reuses the cache
+        # instead of repeating the matmul; the top-k outcome is identical.
+        if (
+            self._scores is not None
+            and isinstance(backend, DenseTopK)
+            and backend.dtype is None
+        ):
+            result = backend.retrieve_from_scores(self._scores, k)
+        else:
+            result = backend.retrieve(
+                self._query_matrix,
+                self._candidate_matrix,
+                k,
+                query_ids=self.query_ids,
+                candidate_ids=self.candidate_ids,
+            )
+        self._last_stats = result.stats
+        return result.to_rankings(self.query_ids, self.candidate_ids), result.stats
+
     def match(self, k: int = 20, scores: Optional[np.ndarray] = None) -> RankingSet:
         """Top-k ranking per query; ``scores`` overrides the cosine matrix."""
-        matrix = scores if scores is not None else self.score_matrix()
-        if matrix.shape != (len(self.query_ids), len(self.candidate_ids)):
+        if scores is None:
+            rankings, _stats = self.match_with_stats(k=k)
+            return rankings
+        if scores.shape != (len(self.query_ids), len(self.candidate_ids)):
             raise ValueError("score matrix shape does not match query/candidate ids")
-        neighbors = top_k_neighbors(matrix, k, self.candidate_ids)
+        neighbors = top_k_neighbors(scores, k, self.candidate_ids)
         rankings = RankingSet()
         for query_id, ranked in zip(self.query_ids, neighbors):
             ranking = Ranking(query_id=query_id)
@@ -105,6 +137,10 @@ class MetadataMatcher:
         k: int = 20,
         weights: Optional[Sequence[float]] = None,
     ) -> RankingSet:
-        """Match using the average of this matcher's scores and ``other_scores``."""
-        combined = combine_score_matrices([self.score_matrix(), other_scores], weights=weights)
-        return self.match(k=k, scores=combined)
+        """Match using the fusion of this matcher's scores and ``other_scores``."""
+        if other_scores.shape != (len(self.query_ids), len(self.candidate_ids)):
+            raise ValueError("score matrix shape does not match query/candidate ids")
+        combined = CombinedTopK(weights=weights)
+        result = combined.retrieve_from_scores([self.score_matrix(), other_scores], k=k)
+        self._last_stats = result.stats
+        return result.to_rankings(self.query_ids, self.candidate_ids)

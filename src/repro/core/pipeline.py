@@ -8,7 +8,9 @@
 4. optionally compress it (Algorithm 3 / baselines);
 5. generate random walks and train Word2Vec on them (Algorithm 4);
 6. rank, for every document of the query corpus, the documents of the other
-   corpus by cosine similarity of their metadata-node vectors.
+   corpus by cosine similarity of their metadata-node vectors — delegated
+   to a pluggable retrieval backend (:mod:`repro.retrieval`): exact chunked
+   dense top-k by default, or blocked scoring that skips non-blocked pairs.
 
 Typical use::
 
@@ -45,6 +47,8 @@ from repro.graph.compression import (
 from repro.graph.expansion import ExpansionResult, expand_graph
 from repro.graph.merging import EmbeddingMerger, NumericBucketer
 from repro.graph.walk_engine import make_walk_engine
+from repro.retrieval import BlockedTopK, DenseTopK, RetrievalStats
+from repro.retrieval.base import QueryBlocker, RetrievalBackend
 from repro.utils.logging import get_logger
 from repro.utils.rng import derive_rng
 from repro.utils.timing import Stopwatch, TimingRegistry
@@ -73,6 +77,7 @@ class MatchResult:
     rankings: RankingSet
     query_side: str
     k: int
+    retrieval: Optional[RetrievalStats] = None
 
 
 @dataclass
@@ -258,11 +263,77 @@ class TDMatch:
             candidate_vectors=self.metadata_vectors(candidate_side),
         )
 
-    def match(self, k: int = 20, query_side: str = "first") -> RankingSet:
-        """Rank the top-k candidates of the other corpus for every query."""
-        with self.timings.measure("match"):
-            rankings = self.matcher(query_side).match(k=k)
-        return rankings
+    def _retrieval_dtype(self):
+        return np.float32 if self.config.retrieval.dtype == "float32" else None
 
-    def match_result(self, k: int = 20, query_side: str = "first") -> MatchResult:
-        return MatchResult(rankings=self.match(k=k, query_side=query_side), query_side=query_side, k=k)
+    def _graph_query_blocker(self, query_side: str) -> QueryBlocker:
+        """Graph-native blocker over the fitted match graph."""
+        # Imported here: repro.core.blocking imports this module's sibling
+        # matcher, keeping the blocker classes out of pipeline import time.
+        from repro.core.blocking import GraphQueryBlocker, MetadataNeighborhoodBlocking
+
+        cfg = self.config.retrieval
+        built = self.state.built
+        query_labels = built.first_metadata if query_side == "first" else built.second_metadata
+        candidate_labels = built.second_metadata if query_side == "first" else built.first_metadata
+        blocking = MetadataNeighborhoodBlocking(
+            self.graph, max_hops=cfg.max_hops, max_block_size=cfg.max_block_size
+        )
+        return GraphQueryBlocker(blocking, query_labels, candidate_labels)
+
+    def retrieval_backend(
+        self, query_side: str = "first", blocker: Optional[QueryBlocker] = None
+    ) -> RetrievalBackend:
+        """The retrieval backend selected by ``config.retrieval``.
+
+        An explicit ``blocker`` forces the blocked backend; otherwise the
+        "blocked" backend with "neighborhood" blocking builds the
+        graph-native blocker from the fitted match graph, and "token"
+        blocking must be supplied as a ready-made blocker (it needs the
+        corpus texts, which the fitted pipeline does not retain).
+        """
+        cfg = self.config.retrieval
+        dtype = self._retrieval_dtype()
+        if blocker is not None:
+            return BlockedTopK(
+                blocker,
+                fallback_to_full=cfg.fallback_to_full,
+                dtype=dtype,
+                chunk_size=cfg.chunk_size,
+            )
+        if cfg.backend == "blocked":
+            if cfg.blocking == "token":
+                raise PipelineError(
+                    "token blocking needs the corpus texts; build a TokenBlocking + "
+                    "TextQueryBlocker and pass it via match(blocker=...)"
+                )
+            return BlockedTopK(
+                self._graph_query_blocker(query_side),
+                fallback_to_full=cfg.fallback_to_full,
+                dtype=dtype,
+                chunk_size=cfg.chunk_size,
+            )
+        return DenseTopK(chunk_size=cfg.chunk_size, dtype=dtype)
+
+    def match(
+        self,
+        k: int = 20,
+        query_side: str = "first",
+        blocker: Optional[QueryBlocker] = None,
+    ) -> RankingSet:
+        """Rank the top-k candidates of the other corpus for every query."""
+        return self.match_result(k=k, query_side=query_side, blocker=blocker).rankings
+
+    def match_result(
+        self,
+        k: int = 20,
+        query_side: str = "first",
+        blocker: Optional[QueryBlocker] = None,
+    ) -> MatchResult:
+        backend = self.retrieval_backend(query_side, blocker=blocker)
+        with self.timings.measure("match"):
+            rankings, stats = self.matcher(query_side).match_with_stats(k=k, backend=backend)
+        self.timings.set_note("retrieval_backend", stats.backend)
+        self.timings.set_note("compared_pairs", str(stats.scored_pairs))
+        self.timings.set_note("reduction_ratio", f"{stats.reduction_ratio:.3f}")
+        return MatchResult(rankings=rankings, query_side=query_side, k=k, retrieval=stats)
