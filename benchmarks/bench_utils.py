@@ -72,6 +72,7 @@ def wrw_config(
     epochs: int = 2,
     max_ngram: int = 3,
     walk_engine: str = "csr",
+    w2v_trainer: str = "vectorized",
 ) -> TDMatchConfig:
     """The benchmark-scale W-RW configuration for a task type."""
     if task == "text-to-data":
@@ -85,6 +86,7 @@ def wrw_config(
     config.walks.walk_engine = walk_engine
     config.word2vec.vector_size = vector_size
     config.word2vec.epochs = epochs
+    config.word2vec.trainer = w2v_trainer
     config.builder.preprocess.max_ngram = max_ngram
     return config
 
@@ -124,6 +126,7 @@ def run_wrw(
     merge_pretrained: bool = False,
     seed: int = 7,
     walk_engine: str = "csr",
+    w2v_trainer: str = "vectorized",
 ) -> WrwRun:
     """Run (and cache) the W-RW pipeline on a named benchmark scenario."""
     scenario = get_scenario(scenario_name)
@@ -133,6 +136,7 @@ def run_wrw(
         walk_length=walk_length,
         max_ngram=max_ngram,
         walk_engine=walk_engine,
+        w2v_trainer=w2v_trainer,
     )
     config.builder.filter_strategy_name = filter_strategy
     config.builder.connect_structured_metadata = connect_metadata

@@ -71,6 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--vector-size", type=int, default=64, help="embedding dimensionality")
     parser.add_argument("--epochs", type=int, default=2, help="Word2Vec epochs")
+    parser.add_argument(
+        "--w2v-trainer",
+        choices=["vectorized", "reference"],
+        default="vectorized",
+        help="Word2Vec trainer: vectorized numpy engine (default) or the reference pair loop",
+    )
     parser.add_argument("--expansion", action="store_true", help="expand the graph with the scenario KB")
     parser.add_argument(
         "--compression",
@@ -99,6 +105,7 @@ def run(args: argparse.Namespace) -> int:
     config.walks.walk_engine = args.walk_engine
     config.word2vec.vector_size = args.vector_size
     config.word2vec.epochs = args.epochs
+    config.word2vec.trainer = args.w2v_trainer
     backend = args.retrieval_backend
     if args.blocking and backend != "blocked":
         backend = "blocked"  # --blocking implies the blocked backend
@@ -141,7 +148,17 @@ def run(args: argparse.Namespace) -> int:
     ]
     print()
     engine = pipeline.timings.note("walk_engine", args.walk_engine)
-    print(format_table(timing_rows, title=f"Stage timings (walk engine: {engine})"))
+    trainer = pipeline.timings.note("w2v_trainer", args.w2v_trainer)
+    pairs_per_sec = pipeline.timings.note("w2v_pairs_per_sec", "-")
+    print(
+        format_table(
+            timing_rows,
+            title=(
+                f"Stage timings (walk engine: {engine}, w2v trainer: {trainer}, "
+                f"{pairs_per_sec} pairs/s)"
+            ),
+        )
+    )
     return 0
 
 

@@ -133,6 +133,9 @@ class TDMatch:
         self.timings.add("walks", walk_timer.stop())
         self.timings.add("word2vec", max(0.0, train_total - walk_timer.elapsed))
         self.timings.set_note("walk_engine", engine.name)
+        if model.stats is not None:
+            self.timings.set_note("w2v_trainer", model.stats.trainer)
+            self.timings.set_note("w2v_pairs_per_sec", f"{model.stats.pairs_per_sec:.0f}")
 
         self._state = PipelineState(
             built=built,

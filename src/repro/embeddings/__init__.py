@@ -15,7 +15,8 @@ the models are implemented here directly on numpy:
 """
 
 from repro.embeddings.vocab import Vocabulary
-from repro.embeddings.word2vec import Word2Vec, Word2VecConfig
+from repro.embeddings.sampling import AliasSampler
+from repro.embeddings.word2vec import TrainingStats, Word2Vec, Word2VecConfig
 from repro.embeddings.doc2vec import Doc2Vec, Doc2VecConfig
 from repro.embeddings.pretrained import PretrainedEmbeddings, build_synthetic_pretrained
 from repro.embeddings.sentence import SentenceEncoder, mean_pool
@@ -23,8 +24,10 @@ from repro.embeddings.similarity import cosine_similarity, cosine_matrix, top_k_
 
 __all__ = [
     "Vocabulary",
+    "AliasSampler",
     "Word2Vec",
     "Word2VecConfig",
+    "TrainingStats",
     "Doc2Vec",
     "Doc2VecConfig",
     "PretrainedEmbeddings",

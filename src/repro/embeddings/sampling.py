@@ -1,0 +1,81 @@
+"""Constant-time categorical sampling for negative draws.
+
+Word2Vec's negative sampling draws from the unigram distribution raised to
+0.75 — millions of times per training run.  ``numpy.random.Generator.choice``
+with an explicit ``p`` rebuilds the cumulative distribution on every call,
+an O(vocab) cost per mini-batch that dominates training on large
+vocabularies.  The original word2vec implementation (and gensim) amortises
+the distribution into a precomputed unigram table; :class:`AliasSampler`
+achieves the same with Walker's alias method, which is exact rather than
+quantised: an O(n) one-time build, then O(1) work per sample — one uniform
+integer (column pick) and one uniform float (coin flip against the column's
+cutoff) regardless of the distribution's size or shape.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+
+class AliasSampler:
+    """Walker alias-method sampler over a fixed discrete distribution.
+
+    The build partitions the probability mass into ``n`` equal-width columns,
+    each split between at most two outcomes: the column's own index and one
+    "alias".  Sampling picks a column uniformly and keeps its index with
+    probability ``cutoff[column]``, otherwise returns the alias — exactly the
+    input distribution, with no per-draw dependence on ``n``.
+    """
+
+    def __init__(self, probabilities: Union[Sequence[float], np.ndarray]):
+        p = np.asarray(probabilities, dtype=np.float64)
+        if p.ndim != 1 or p.size == 0:
+            raise ValueError("probabilities must be a non-empty 1-d array")
+        if not np.all(np.isfinite(p)) or np.any(p < 0):
+            raise ValueError("probabilities must be finite and non-negative")
+        total = p.sum()
+        if total <= 0:
+            raise ValueError("probabilities must have positive mass")
+        p = p / total
+
+        n = p.size
+        scaled = p * n
+        cutoff = np.ones(n, dtype=np.float64)
+        alias = np.arange(n, dtype=np.int64)
+        # Two-stack build: move mass from overfull columns into underfull
+        # ones until every column holds exactly 1/n of the total.
+        small = [i for i in range(n) if scaled[i] < 1.0]
+        large = [i for i in range(n) if scaled[i] >= 1.0]
+        while small and large:
+            lo = small.pop()
+            hi = large.pop()
+            cutoff[lo] = scaled[lo]
+            alias[lo] = hi
+            scaled[hi] = (scaled[hi] + scaled[lo]) - 1.0
+            if scaled[hi] < 1.0:
+                small.append(hi)
+            else:
+                large.append(hi)
+        # Residual columns (floating-point leftovers) keep their own index.
+        for rest in small + large:
+            cutoff[rest] = 1.0
+
+        self._cutoff = cutoff
+        self._alias = alias
+        self._probabilities = p
+
+    def __len__(self) -> int:
+        return self._probabilities.size
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """The normalised distribution the sampler draws from (read-only)."""
+        return self._probabilities
+
+    def sample(self, rng: np.random.Generator, size) -> np.ndarray:
+        """Draw ``size`` indices (scalar or shape tuple) using ``rng``."""
+        columns = rng.integers(0, len(self), size=size)
+        keep = rng.random(size=size) < self._cutoff[columns]
+        return np.where(keep, columns, self._alias[columns])

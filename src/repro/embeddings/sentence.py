@@ -85,17 +85,25 @@ class SentenceEncoder:
         """Embed many documents into a dense matrix.
 
         Documents with no known token are mapped to the zero vector (their
-        cosine similarity with everything is 0, i.e. they rank last).
+        cosine similarity with everything is 0, i.e. they rank last).  An
+        explicit ``dim`` pins the output width — required for an all-OOV
+        corpus slice, where no vector exists to infer it from — and raises
+        when it disagrees with the vectors actually produced.
         """
         vectors: List[Optional[np.ndarray]] = [self.encode(doc) for doc in documents]
-        found_dim = dim
+        found_dim = None
         for vec in vectors:
             if vec is not None:
                 found_dim = vec.shape[0]
                 break
-        if found_dim is None:
+        if dim is not None and found_dim is not None and dim != found_dim:
+            raise ValueError(
+                f"dim={dim} does not match the {found_dim}-dimensional vectors of the lookup"
+            )
+        out_dim = dim if dim is not None else found_dim
+        if out_dim is None:
             raise ValueError("cannot infer embedding dimension: no document has known tokens")
-        matrix = np.zeros((len(documents), found_dim), dtype=float)
+        matrix = np.zeros((len(documents), out_dim), dtype=float)
         for i, vec in enumerate(vectors):
             if vec is not None:
                 matrix[i] = vec

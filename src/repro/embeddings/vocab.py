@@ -23,7 +23,6 @@ class Vocabulary:
         self._id_to_token: List[str] = []
         self._counts: List[int] = []
         self._frozen = False
-        self._neg_table: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     @classmethod

@@ -48,14 +48,23 @@ def metadata_label(corpus: Corpus, object_id: str, corpus_name: str = "") -> str
     return f"{prefix}{qualifier}{object_id}"
 
 
-def strip_metadata_label(label: str) -> str:
-    """Return the original object id of a metadata label."""
+def strip_metadata_label(label: str, corpus_name: str = "") -> str:
+    """Return the original object id of a metadata label.
+
+    Inverse of :func:`metadata_label` for any object id: the kind prefix is
+    dropped, and the corpus qualifier only when the caller names it
+    (``corpus_name`` must match how the label was built).  Object ids are
+    free to contain ``::`` themselves — an unqualified ``doc::a::b`` strips
+    to ``a::b``, not ``b``, so the roundtrip
+    ``strip_metadata_label(metadata_label(c, oid, name), name) == oid``
+    holds unconditionally.
+    """
     for prefix in (ROW_PREFIX, COLUMN_PREFIX, DOC_PREFIX, CONCEPT_PREFIX):
         if label.startswith(prefix):
             rest = label[len(prefix):]
-            # drop a corpus qualifier if present
-            if "::" in rest:
-                rest = rest.split("::", 1)[1]
+            qualifier = f"{corpus_name}::" if corpus_name else ""
+            if qualifier and rest.startswith(qualifier):
+                rest = rest[len(qualifier):]
             return rest
     return label
 

@@ -1,6 +1,10 @@
 """Tests for Algorithm 1 — graph construction over two corpora."""
 
+import string
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.corpus.documents import TextCorpus
 from repro.corpus.table import Column, Table
@@ -162,6 +166,36 @@ class TestLabels:
 
     def test_strip_plain_label_passthrough(self):
         assert strip_metadata_label("just-a-term") == "just-a-term"
+
+    def test_strip_preserves_separator_in_object_id(self, reviews):
+        """Regression: an unqualified id containing ``::`` must survive."""
+        label = metadata_label(reviews, "a::b")
+        assert label == "doc::a::b"
+        assert strip_metadata_label(label) == "a::b"
+
+    def test_strip_with_corpus_qualifier(self, reviews):
+        label = metadata_label(reviews, "p1", corpus_name="reviews")
+        assert label == "doc::reviews::p1"
+        assert strip_metadata_label(label, corpus_name="reviews") == "p1"
+
+    def test_strip_qualifier_removed_once(self, reviews):
+        """An object id starting with the qualifier itself is kept intact."""
+        label = metadata_label(reviews, "reviews::x", corpus_name="reviews")
+        assert strip_metadata_label(label, corpus_name="reviews") == "reviews::x"
+
+    @given(
+        object_id=st.text(
+            alphabet=string.ascii_lowercase + ":", min_size=1, max_size=20
+        ),
+        corpus_name=st.text(alphabet=string.ascii_lowercase, max_size=8),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_strip_roundtrip_property(self, object_id, corpus_name):
+        """strip(metadata_label(c, oid, name), name) == oid for any oid."""
+        corpus = TextCorpus(name="c")
+        corpus.add_text("d", "text")
+        label = metadata_label(corpus, object_id, corpus_name=corpus_name)
+        assert strip_metadata_label(label, corpus_name=corpus_name) == object_id
 
     def test_ngram_config_respected(self, movies_table, reviews):
         config = GraphBuilderConfig(preprocess=PreprocessConfig(max_ngram=1))

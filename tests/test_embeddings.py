@@ -224,6 +224,26 @@ class TestSentencePooling:
         with pytest.raises(ValueError):
             encoder.encode_all([["x"]])
 
+    def test_encode_all_honours_dim_for_all_oov_slice(self):
+        """Regression: an explicit dim pins the width when every row is OOV."""
+        encoder = SentenceEncoder(lookup={}.get)
+        matrix = encoder.encode_all([["x"], ["y"]], dim=5)
+        assert matrix.shape == (2, 5)
+        np.testing.assert_allclose(matrix, 0.0)
+
+    def test_encode_all_dim_matching_vectors_ok(self):
+        table = {"a": np.array([1.0, 1.0])}
+        encoder = SentenceEncoder(lookup=table.get, use_sif=False)
+        matrix = encoder.encode_all([["a"], ["zzz"]], dim=2)
+        assert matrix.shape == (2, 2)
+
+    def test_encode_all_dim_mismatch_raises(self):
+        """Regression: dim used to be silently overwritten by the vectors."""
+        table = {"a": np.array([1.0, 1.0])}
+        encoder = SentenceEncoder(lookup=table.get, use_sif=False)
+        with pytest.raises(ValueError):
+            encoder.encode_all([["a"]], dim=3)
+
     def test_idf_weights(self):
         weights = idf_weights([["a", "b"], ["a"]])
         assert weights["b"] > weights["a"]
