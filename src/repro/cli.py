@@ -46,6 +46,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--num-walks", type=int, default=10, help="random walks per node")
     parser.add_argument("--walk-length", type=int, default=15, help="random walk length")
     parser.add_argument(
+        "--graph-engine",
+        choices=["bulk", "reference"],
+        default="bulk",
+        help="graph construction: interned bulk engine (default) or the reference per-term loop",
+    )
+    parser.add_argument(
         "--walk-engine",
         choices=["csr", "python"],
         default="csr",
@@ -100,6 +106,7 @@ def run(args: argparse.Namespace) -> int:
         config = TDMatchConfig.for_text_to_data()
     else:
         config = TDMatchConfig.for_text_tasks()
+    config.builder.engine = args.graph_engine
     config.walks.num_walks = args.num_walks
     config.walks.walk_length = args.walk_length
     config.walks.walk_engine = args.walk_engine
@@ -147,6 +154,7 @@ def run(args: argparse.Namespace) -> int:
         for stage, seconds in pipeline.timings.as_dict().items()
     ]
     print()
+    graph_engine = pipeline.timings.note("graph_engine", args.graph_engine)
     engine = pipeline.timings.note("walk_engine", args.walk_engine)
     trainer = pipeline.timings.note("w2v_trainer", args.w2v_trainer)
     pairs_per_sec = pipeline.timings.note("w2v_pairs_per_sec", "-")
@@ -154,8 +162,8 @@ def run(args: argparse.Namespace) -> int:
         format_table(
             timing_rows,
             title=(
-                f"Stage timings (walk engine: {engine}, w2v trainer: {trainer}, "
-                f"{pairs_per_sec} pairs/s)"
+                f"Stage timings (graph engine: {graph_engine}, walk engine: {engine}, "
+                f"w2v trainer: {trainer}, {pairs_per_sec} pairs/s)"
             ),
         )
     )

@@ -21,6 +21,7 @@ Typical use::
 
 from __future__ import annotations
 
+import copy
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional
@@ -99,6 +100,8 @@ class TDMatch:
         self.seed = seed
         self.timings = TimingRegistry()
         self._state: Optional[PipelineState] = None
+        self._builder: Optional[GraphBuilder] = None
+        self._builder_config = None  # snapshot the builder was created from
 
     # ------------------------------------------------------------------
     # Fitting
@@ -108,8 +111,12 @@ class TDMatch:
         self._validate_corpus(second, "second")
 
         with self.timings.measure("graph_build"):
-            builder = GraphBuilder(self.config.builder)
-            built = builder.build(first, second)
+            built = self._graph_builder().build(first, second)
+        self.timings.set_note("graph_engine", built.engine)
+        if built.filter_stats is not None:
+            self.timings.set_note(
+                "filter_kept_fraction", f"{built.filter_stats.kept_fraction:.3f}"
+            )
         logger.info(
             "graph built: %d nodes, %d edges", built.graph.num_nodes(), built.graph.num_edges()
         )
@@ -145,6 +152,20 @@ class TDMatch:
             compression=compression,
         )
         return self
+
+    def _graph_builder(self) -> GraphBuilder:
+        """The pipeline's graph builder, reused across :meth:`fit` calls.
+
+        Reuse keeps the bulk engine's value-level interner warm, so
+        re-fitting over the same or overlapping corpora (parameter sweeps,
+        growing datasets) skips preprocessing for every value seen before.
+        The builder is rebuilt when ``config.builder`` changes (compared
+        against a deep-copied snapshot, since configs are mutable).
+        """
+        if self._builder is None or self._builder_config != self.config.builder:
+            self._builder = GraphBuilder(self.config.builder)
+            self._builder_config = copy.deepcopy(self.config.builder)
+        return self._builder
 
     def _validate_corpus(self, corpus, position: str) -> None:
         if not isinstance(corpus, (Table, TextCorpus, Taxonomy)):

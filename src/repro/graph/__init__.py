@@ -23,9 +23,20 @@ Modules
     Pluggable walk engines: reference python stepping vs vectorised CSR.
 """
 
-from repro.graph.graph import MatchGraph, NodeKind
-from repro.graph.builder import GraphBuilder, GraphBuilderConfig
-from repro.graph.filtering import FilterStrategy, IntersectFilter, NoFilter, TfIdfFilter
+from repro.graph.graph import MatchGraph, NodeKind, dedup_edge_ids
+from repro.graph.builder import GRAPH_ENGINES, GraphBuilder, GraphBuilderConfig
+from repro.graph.filtering import (
+    BulkFilter,
+    BulkIntersectFilter,
+    BulkNoFilter,
+    BulkTfIdfFilter,
+    FilterStatistics,
+    FilterStrategy,
+    IntersectFilter,
+    NoFilter,
+    TfIdfFilter,
+    make_bulk_filter,
+)
 from repro.graph.merging import NumericBucketer, EmbeddingMerger, MergeReport
 from repro.graph.expansion import expand_graph, ExpansionResult
 from repro.graph.compression import (
@@ -37,7 +48,13 @@ from repro.graph.compression import (
     random_edge_compress,
 )
 from repro.graph.walks import RandomWalkConfig, generate_walks, iter_walks
-from repro.graph.csr import CSRAdjacency, build_csr, csr_adjacency
+from repro.graph.csr import (
+    CSRAdjacency,
+    build_csr,
+    build_csr_from_edges,
+    csr_adjacency,
+    prime_csr_cache,
+)
 from repro.graph.walk_engine import (
     CSRWalkEngine,
     PythonWalkEngine,
@@ -47,12 +64,20 @@ from repro.graph.walk_engine import (
 __all__ = [
     "MatchGraph",
     "NodeKind",
+    "dedup_edge_ids",
+    "GRAPH_ENGINES",
     "GraphBuilder",
     "GraphBuilderConfig",
     "FilterStrategy",
+    "FilterStatistics",
     "IntersectFilter",
     "NoFilter",
     "TfIdfFilter",
+    "BulkFilter",
+    "BulkIntersectFilter",
+    "BulkNoFilter",
+    "BulkTfIdfFilter",
+    "make_bulk_filter",
     "NumericBucketer",
     "EmbeddingMerger",
     "MergeReport",
@@ -69,7 +94,9 @@ __all__ = [
     "iter_walks",
     "CSRAdjacency",
     "build_csr",
+    "build_csr_from_edges",
     "csr_adjacency",
+    "prime_csr_cache",
     "CSRWalkEngine",
     "PythonWalkEngine",
     "make_walk_engine",

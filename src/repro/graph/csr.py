@@ -114,6 +114,56 @@ def build_csr(graph: MatchGraph) -> CSRAdjacency:
     return snapshot
 
 
+def build_csr_from_edges(
+    labels: Sequence[str],
+    u_ids: np.ndarray,
+    v_ids: np.ndarray,
+    graph_version: int = 0,
+) -> CSRAdjacency:
+    """Build a CSR snapshot straight from undirected edge id arrays.
+
+    ``labels`` fixes the id space (position == id, matching the node
+    insertion order of the source graph); ``u_ids``/``v_ids`` must contain
+    every undirected edge exactly once, with no self-loops (the bulk graph
+    builder guarantees this via :func:`repro.graph.graph.dedup_edge_ids`).
+    Produces exactly what :func:`build_csr` would for the same topology —
+    rows sorted by neighbour id — without iterating the dict-of-sets
+    adjacency or re-interning labels.
+    """
+    n = len(labels)
+    ids = {label: i for i, label in enumerate(labels)}
+    u = np.asarray(u_ids, dtype=np.int64)
+    v = np.asarray(v_ids, dtype=np.int64)
+    src = np.concatenate([u, v])
+    dst = np.concatenate([v, u])
+    order = np.lexsort((dst, src))
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+    return CSRAdjacency(
+        indptr=indptr,
+        indices=dst[order].astype(np.int32),
+        labels=list(labels),
+        ids=ids,
+        graph_version=graph_version,
+    )
+
+
+def prime_csr_cache(graph: MatchGraph, snapshot: CSRAdjacency) -> CSRAdjacency:
+    """Install ``snapshot`` as the cached CSR view of ``graph``.
+
+    The bulk builder already holds the deduped edge arrays, so it can hand
+    the walk engine a ready snapshot; any later mutation of the graph bumps
+    its version and invalidates the primed cache as usual.
+    """
+    if snapshot.graph_version != graph.version:
+        raise ValueError(
+            "snapshot version does not match the graph "
+            f"({snapshot.graph_version} != {graph.version})"
+        )
+    setattr(graph, _CACHE_ATTR, snapshot)
+    return snapshot
+
+
 def csr_adjacency(graph: MatchGraph) -> CSRAdjacency:
     """The CSR snapshot of ``graph``, cached against its structural version.
 

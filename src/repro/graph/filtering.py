@@ -7,6 +7,12 @@ the terms that already exist in the graph.  The alternative evaluated in
 Figure 9 keeps, for every document, the k highest TF-IDF terms (the strategy
 used by Ditto for text-heavy datasets).  ``NoFilter`` keeps everything and is
 the "Normal" series of Figure 9.
+
+Each strategy has a *bulk* counterpart operating on interned term-id arrays
+(:func:`make_bulk_filter`): membership tests become boolean lookups indexed
+by id and the TF-IDF top-k becomes one ``lexsort`` per document, with the
+exact same keep decisions — and keep *order* — as the string-based
+reference.  The bulk graph builder uses these.
 """
 
 from __future__ import annotations
@@ -16,6 +22,8 @@ from abc import ABC, abstractmethod
 from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
+
+import numpy as np
 
 
 class FilterStrategy(ABC):
@@ -142,7 +150,13 @@ class TfIdfFilter(FilterStrategy):
 
 @dataclass
 class FilterStatistics:
-    """Summary of what a filter kept / dropped (for reports and tests)."""
+    """Summary of what a filter kept / dropped (for reports and tests).
+
+    ``kept`` counts the terms that actually joined the graph: for the first
+    corpus that is everything the strategy kept; for the second corpus,
+    kept terms that were dropped because they were not already nodes (the
+    Intersect semantics) do not count.
+    """
 
     first_total: int = 0
     first_kept: int = 0
@@ -156,3 +170,171 @@ class FilterStatistics:
     @property
     def second_kept_fraction(self) -> float:
         return self.second_kept / self.second_total if self.second_total else 1.0
+
+    @property
+    def kept_fraction(self) -> float:
+        """Overall fraction of corpus terms that became graph connections."""
+        total = self.first_total + self.second_total
+        return (self.first_kept + self.second_kept) / total if total else 1.0
+
+
+# ----------------------------------------------------------------------
+# Bulk (interned-id) counterparts, used by the bulk graph builder.
+class BulkFilter(ABC):
+    """Keep decisions over interned term-id arrays.
+
+    Mirrors one :class:`FilterStrategy` exactly — same kept terms, same
+    kept order — but documents are numpy arrays of dense term ids, so
+    membership filters are vectorised mask lookups.
+    ``second_may_create_nodes`` mirrors
+    ``GraphBuilder._second_may_create_nodes``.
+    """
+
+    name: str = "abstract"
+    second_may_create_nodes: bool = True
+
+    @abstractmethod
+    def keep_first(self, doc_index: int, ids: np.ndarray) -> np.ndarray:
+        """Ids of first-corpus document ``doc_index`` that become nodes."""
+
+    @abstractmethod
+    def keep_second(self, doc_index: int, ids: np.ndarray) -> np.ndarray:
+        """Ids of second-corpus document ``doc_index`` that become nodes."""
+
+
+class BulkNoFilter(BulkFilter):
+    """Keep everything (the "Normal" series)."""
+
+    name = "normal"
+
+    def keep_first(self, doc_index: int, ids: np.ndarray) -> np.ndarray:  # noqa: D102
+        return ids
+
+    def keep_second(self, doc_index: int, ids: np.ndarray) -> np.ndarray:  # noqa: D102
+        return ids
+
+
+class BulkIntersectFilter(BulkFilter):
+    """Anchor-vocabulary filtering over a boolean id-membership table."""
+
+    name = "intersect"
+
+    def __init__(
+        self,
+        first_docs: Sequence[np.ndarray],
+        second_docs: Sequence[np.ndarray],
+        num_terms: int,
+    ):
+        in_first = np.zeros(num_terms, dtype=bool)
+        for ids in first_docs:
+            in_first[ids] = True
+        in_second = np.zeros(num_terms, dtype=bool)
+        for ids in second_docs:
+            in_second[ids] = True
+        # Same tie-break as IntersectFilter.prepare: first wins on equality.
+        if int(in_first.sum()) <= int(in_second.sum()):
+            self.anchor = "first"
+            self._mask = in_first
+        else:
+            self.anchor = "second"
+            self._mask = in_second
+        self.second_may_create_nodes = self.anchor == "second"
+
+    def keep_first(self, doc_index: int, ids: np.ndarray) -> np.ndarray:  # noqa: D102
+        if self.anchor == "first":
+            return ids
+        return ids[self._mask[ids]]
+
+    def keep_second(self, doc_index: int, ids: np.ndarray) -> np.ndarray:  # noqa: D102
+        if self.anchor == "second":
+            return ids
+        return ids[self._mask[ids]]
+
+
+class BulkTfIdfFilter(BulkFilter):
+    """Per-document TF-IDF top-k over id arrays.
+
+    Scores are bit-identical to :class:`TfIdfFilter` (idf values come from a
+    ``math.log`` table indexed by document frequency) and ties break on the
+    lexicographic rank of the term string, so the kept ids and their order
+    match the reference sort by ``(-score, term)`` exactly.
+    """
+
+    name = "tfidf"
+
+    def __init__(
+        self,
+        first_docs: Sequence[np.ndarray],
+        second_docs: Sequence[np.ndarray],
+        terms: Sequence[str],
+        top_k: int = 10,
+    ):
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        self.top_k = top_k
+        num_terms = len(terms)
+        # Rank only the terms present in the current corpora: a persistent
+        # interner may carry terms from earlier builds, and sorting those
+        # too would make filter construction grow with history rather than
+        # with the current vocabulary.  Relative order among present terms
+        # is unchanged, so tie-breaks match the full sort exactly.
+        present = np.zeros(num_terms, dtype=bool)
+        for ids in first_docs:
+            present[ids] = True
+        for ids in second_docs:
+            present[ids] = True
+        present_ids = np.nonzero(present)[0]
+        order = sorted(present_ids.tolist(), key=terms.__getitem__)
+        self._lex_rank = np.zeros(num_terms, dtype=np.int64)
+        self._lex_rank[order] = np.arange(len(order))
+        self._idf_first = self._idf(first_docs, num_terms)
+        self._idf_second = self._idf(second_docs, num_terms)
+
+    @staticmethod
+    def _idf(documents: Sequence[np.ndarray], num_terms: int) -> np.ndarray:
+        n_docs = len(documents)
+        df = np.zeros(num_terms, dtype=np.int64)
+        for ids in documents:
+            df[ids] += 1  # per-document ids are already unique
+        # math.log per distinct df value keeps scores bit-identical to the
+        # dict-based reference (np.log may differ from libm by one ulp).
+        max_df = int(df.max()) if df.size else 0
+        table = np.array(
+            [math.log((1 + n_docs) / (1 + k)) + 1.0 for k in range(max_df + 1)]
+        )
+        return table[df]
+
+    def _top(self, ids: np.ndarray, idf: np.ndarray) -> np.ndarray:
+        if ids.size == 0:
+            return ids
+        order = np.lexsort((self._lex_rank[ids], -idf[ids]))
+        return ids[order[: self.top_k]]
+
+    def keep_first(self, doc_index: int, ids: np.ndarray) -> np.ndarray:  # noqa: D102
+        return self._top(ids, self._idf_first)
+
+    def keep_second(self, doc_index: int, ids: np.ndarray) -> np.ndarray:  # noqa: D102
+        return self._top(ids, self._idf_second)
+
+
+def make_bulk_filter(
+    strategy: FilterStrategy,
+    first_docs: Sequence[np.ndarray],
+    second_docs: Sequence[np.ndarray],
+    terms: Sequence[str],
+) -> BulkFilter:
+    """The bulk counterpart of ``strategy`` over interned documents.
+
+    ``terms`` is the interner's id → string table; per-document id arrays
+    must hold unique ids (the interner guarantees this).
+    """
+    if isinstance(strategy, TfIdfFilter):
+        return BulkTfIdfFilter(first_docs, second_docs, terms, top_k=strategy.top_k)
+    if isinstance(strategy, IntersectFilter):
+        return BulkIntersectFilter(first_docs, second_docs, len(terms))
+    if isinstance(strategy, NoFilter):
+        return BulkNoFilter()
+    raise TypeError(
+        f"no bulk counterpart for {type(strategy).__name__}; "
+        "use GraphBuilderConfig(engine='reference') for custom strategies"
+    )

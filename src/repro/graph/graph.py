@@ -20,9 +20,10 @@ and for tests that cross-check shortest-path computations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 
 class NodeKind(str, Enum):
@@ -32,9 +33,13 @@ class NodeKind(str, Enum):
     METADATA = "metadata"
 
 
-@dataclass(frozen=True)
-class NodeInfo:
+class NodeInfo(NamedTuple):
     """Metadata attached to a node.
+
+    A NamedTuple rather than a frozen dataclass: bulk graph construction
+    creates one per node and tuple instantiation is ~3x cheaper than
+    ``object.__setattr__``-based frozen-dataclass init, with the same
+    immutability, equality, and attribute access.
 
     Attributes
     ----------
@@ -56,6 +61,32 @@ class NodeInfo:
     kind: NodeKind
     corpus: str = "first"
     role: str = "term"
+
+
+def dedup_edge_ids(
+    u: np.ndarray, v: np.ndarray, num_nodes: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Normalise undirected id pairs and drop duplicates and self-loops.
+
+    Each pair is ordered ``(lo, hi)`` and packed into a single int64
+    (``lo * num_nodes + hi``) so one :func:`np.unique` replaces a set probe
+    per edge.  Returns the surviving pairs as ``(lo, hi)`` int64 arrays in
+    first-occurrence order.
+    """
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    keep = lo != hi
+    if not keep.all():
+        lo = lo[keep]
+        hi = hi[keep]
+    if lo.size == 0:
+        return lo, hi
+    packed = lo * np.int64(num_nodes) + hi
+    _values, first = np.unique(packed, return_index=True)
+    first.sort()
+    return lo[first], hi[first]
 
 
 class MatchGraph:
@@ -107,6 +138,60 @@ class MatchGraph:
         self._version += 1
         return True
 
+    def add_nodes_bulk(
+        self,
+        labels: Sequence[str],
+        kind=NodeKind.DATA,
+        corpus="first",
+        role=None,
+    ) -> int:
+        """Add many nodes with a single version bump.
+
+        ``kind``, ``corpus`` and ``role`` may each be a scalar applied to
+        every label or a sequence parallel to ``labels``.  Existing labels
+        follow the same rules as :meth:`add_node` (no-op except the corpus
+        ``"both"`` promotion).  Returns the number of genuinely new nodes.
+        """
+        n = len(labels)
+        if isinstance(labels, np.ndarray):
+            labels = labels.tolist()  # iterating an object ndarray is slow
+        kinds = [kind] * n if isinstance(kind, NodeKind) else kind
+        corpora = [corpus] * n if isinstance(corpus, str) else corpus
+        roles = [role] * n if role is None or isinstance(role, str) else role
+        if isinstance(kinds, np.ndarray):
+            kinds = kinds.tolist()
+        if isinstance(roles, np.ndarray):
+            roles = roles.tolist()
+        if len(kinds) != n or len(corpora) != n or len(roles) != n:
+            raise ValueError("kind/corpus/role sequences must match len(labels)")
+        info = self._info
+        adjacency = self._adjacency
+        added = 0
+        for label, node_kind, node_corpus, node_role in zip(labels, kinds, corpora, roles):
+            existing = info.get(label)
+            if existing is not None:
+                if (
+                    node_corpus in ("first", "second")
+                    and existing.corpus in ("first", "second")
+                    and existing.corpus != node_corpus
+                ):
+                    info[label] = NodeInfo(
+                        label=label, kind=existing.kind, corpus="both", role=existing.role
+                    )
+                continue
+            if not label:
+                raise ValueError("node label must be non-empty")
+            if node_role is None:
+                node_role = "term" if node_kind == NodeKind.DATA else "document"
+            info[label] = NodeInfo(
+                label=label, kind=node_kind, corpus=node_corpus, role=node_role
+            )
+            adjacency[label] = set()
+            added += 1
+        if added:
+            self._version += 1
+        return added
+
     def has_node(self, label: str) -> bool:
         return label in self._info
 
@@ -152,6 +237,81 @@ class MatchGraph:
         self._edge_count += 1
         self._version += 1
         return True
+
+    def add_edges_bulk(
+        self,
+        u_labels: Sequence[str],
+        v_labels: Sequence[str],
+        assume_unique: bool = False,
+    ) -> int:
+        """Add undirected edges in bulk with a single version bump.
+
+        Self-loops and duplicates — within the batch and against edges
+        already in the graph — are ignored.  Batch-internal duplicates are
+        eliminated with one :func:`np.unique` over packed (u, v) id pairs
+        (:func:`dedup_edge_ids`) instead of a set probe per edge.  Both
+        endpoints of every pair must already exist.  Returns the number of
+        new edges.
+
+        ``assume_unique`` skips the encode-and-dedup pass for callers (the
+        bulk graph builder) that already hold pairs deduped in id space;
+        passing duplicate pairs with it set corrupts the edge count.
+        """
+        if len(u_labels) != len(v_labels):
+            raise ValueError("u_labels and v_labels must have the same length")
+        if len(u_labels) == 0:
+            return 0
+        if assume_unique:
+            if isinstance(u_labels, np.ndarray):
+                u_labels = u_labels.tolist()
+            if isinstance(v_labels, np.ndarray):
+                v_labels = v_labels.tolist()
+            pairs = zip(u_labels, v_labels)
+        else:
+            index = {label: i for i, label in enumerate(self._info)}
+            try:
+                u = np.fromiter(
+                    (index[label] for label in u_labels), dtype=np.int64, count=len(u_labels)
+                )
+                v = np.fromiter(
+                    (index[label] for label in v_labels), dtype=np.int64, count=len(v_labels)
+                )
+            except KeyError as exc:
+                raise KeyError(
+                    f"cannot add edge, node not in graph: {exc.args[0]!r}"
+                ) from None
+            lo, hi = dedup_edge_ids(u, v, len(index))
+            if lo.size == 0:
+                return 0
+            labels = list(self._info)
+            pairs = ((labels[a], labels[b]) for a, b in zip(lo.tolist(), hi.tolist()))
+        adjacency = self._adjacency
+        # A fresh graph cannot contain any of the pairs, so the per-pair
+        # membership probe is only paid when there is something to probe.
+        check_existing = self._edge_count > 0
+        added = 0
+        try:
+            for a, b in pairs:
+                if a == b:
+                    continue
+                neighbors = adjacency[a]
+                other = adjacency[b]
+                if check_existing and b in neighbors:
+                    continue
+                neighbors.add(b)
+                other.add(a)
+                added += 1
+        except KeyError as exc:
+            # assume_unique defers label validation to the insert loop;
+            # account for the pairs added before the bad one.
+            if added:
+                self._edge_count += added
+                self._version += 1
+            raise KeyError(f"cannot add edge, node not in graph: {exc.args[0]!r}") from None
+        if added:
+            self._edge_count += added
+            self._version += 1
+        return added
 
     def has_edge(self, u: str, v: str) -> bool:
         return u in self._adjacency and v in self._adjacency[u]
@@ -337,6 +497,10 @@ class MatchGraph:
         clone._info = dict(self._info)
         clone._adjacency = {k: set(v) for k, v in self._adjacency.items()}
         clone._edge_count = self._edge_count
+        # Preserve the structural version: derived-snapshot caches key on it,
+        # and a clone restarting at 0 would alias a later mutated state of
+        # the clone with the original's cached snapshots.
+        clone._version = self._version
         return clone
 
     def subgraph(self, labels: Iterable[str]) -> "MatchGraph":

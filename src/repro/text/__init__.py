@@ -9,7 +9,12 @@ from repro.text.tokenizer import Tokenizer, tokenize
 from repro.text.stopwords import STOP_WORDS, is_stop_word
 from repro.text.stemmer import PorterStemmer, stem
 from repro.text.ngrams import generate_ngrams, ngram_terms
-from repro.text.preprocess import Preprocessor, PreprocessConfig
+from repro.text.preprocess import (
+    Preprocessor,
+    PreprocessConfig,
+    TermInterner,
+    unique_in_order,
+)
 
 __all__ = [
     "Tokenizer",
@@ -22,4 +27,6 @@ __all__ = [
     "ngram_terms",
     "Preprocessor",
     "PreprocessConfig",
+    "TermInterner",
+    "unique_in_order",
 ]

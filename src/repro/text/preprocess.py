@@ -3,12 +3,19 @@
 This module turns raw strings (text sentences, paragraphs, table cell
 values) into the list of *terms* that become data nodes in the graph
 (Section II of the paper).
+
+:class:`TermInterner` is the bulk-construction entry point: it memoises the
+whole pipeline per distinct input value and hands terms out as dense int
+ids, so a cell value that repeats across ten thousand rows is tokenised,
+stemmed and n-gram'd exactly once.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.text.ngrams import DEFAULT_MAX_NGRAM, ngram_terms
 from repro.text.stemmer import PorterStemmer
@@ -43,6 +50,12 @@ class PreprocessConfig:
     lowercase: bool = True
     min_token_length: int = 2
     keep_numbers: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_ngram < 1:
+            raise ValueError("max_ngram must be >= 1")
+        if self.min_token_length < 1:
+            raise ValueError("min_token_length must be >= 1")
 
 
 @dataclass
@@ -101,3 +114,130 @@ class Preprocessor:
             cached = self._stemmer.stem(token)
             self._stem_cache[token] = cached
         return cached
+
+
+def unique_in_order(parts: Sequence[np.ndarray]) -> np.ndarray:
+    """Concatenate int-id arrays and keep first occurrences in order.
+
+    The vectorised equivalent of :meth:`Preprocessor.terms_of_values`'s
+    seen-set dedup, for interned term ids.  Always returns a fresh array.
+    """
+    parts = [p for p in parts if p.size]
+    if not parts:
+        return np.empty(0, dtype=np.int32)
+    combined = parts[0] if len(parts) == 1 else np.concatenate(parts)
+    _values, first = np.unique(combined, return_index=True)
+    first.sort()
+    return combined[first]
+
+
+class TermInterner:
+    """Value-level memo over a :class:`Preprocessor`, emitting dense int ids.
+
+    Every distinct input string runs through tokenize → stem → n-grams
+    exactly once; the resulting terms are interned so that downstream code
+    (filtering, graph emission, the CSR walk snapshot) can operate on int
+    arrays and only translate back to strings at the boundary.
+
+    Ids are dense and assigned in first-intern order, so ``terms[i]`` is the
+    term with id ``i``.  The arrays returned by :meth:`term_ids` are cached —
+    treat them as read-only.
+    """
+
+    #: Default `reset_if_larger_than` bounds for persistent use (see
+    #: GraphBuilder): caps both the entry count and — because memo keys are
+    #: the raw input strings, which for text corpora are whole documents —
+    #: the accumulated key bytes a long-lived interner can retain.
+    DEFAULT_MAX_CACHED_VALUES = 500_000
+    DEFAULT_MAX_CACHED_CHARS = 64_000_000
+
+    def __init__(self, preprocessor: Preprocessor):
+        self.preprocessor = preprocessor
+        self._terms: List[str] = []
+        self._ids: Dict[str, int] = {}
+        self._value_cache: Dict[str, np.ndarray] = {}
+        self._cached_chars = 0
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def reset(self) -> None:
+        """Drop all interned terms and the value memo.
+
+        Ids restart from zero, so cached arrays from before the reset must
+        not be mixed with arrays interned after it — only call between
+        independent uses (the bulk graph builder resets between builds).
+        """
+        self._terms = []
+        self._ids = {}
+        self._value_cache = {}
+        self._cached_chars = 0
+
+    def reset_if_larger_than(
+        self,
+        max_cached_values: int = DEFAULT_MAX_CACHED_VALUES,
+        max_cached_chars: int = DEFAULT_MAX_CACHED_CHARS,
+    ) -> bool:
+        """Reset when the value memo outgrew either bound.
+
+        Bounds the memory of a persistently reused interner: a sweep over
+        ever-changing corpora otherwise retains every document string it
+        has ever seen.  Returns True when a reset happened.
+        """
+        if len(self._value_cache) > max_cached_values or self._cached_chars > max_cached_chars:
+            self.reset()
+            return True
+        return False
+
+    @property
+    def terms(self) -> List[str]:
+        """The id → term table (do not mutate)."""
+        return self._terms
+
+    def term_of(self, term_id: int) -> str:
+        return self._terms[term_id]
+
+    def id_of(self, term: str) -> int:
+        """Intern ``term`` and return its dense id."""
+        existing = self._ids.get(term)
+        if existing is not None:
+            return existing
+        new_id = len(self._terms)
+        self._ids[term] = new_id
+        self._terms.append(term)
+        return new_id
+
+    def term_ids(self, text: str) -> np.ndarray:
+        """Interned term ids of ``text``, memoised per distinct value."""
+        ids = self._value_cache.get(text)
+        if ids is None:
+            # Inlined interning: this is the hottest loop of bulk graph
+            # construction, so no per-term method call.
+            ids_map = self._ids
+            table = self._terms
+            out = []
+            for term in self.preprocessor.terms(text):
+                term_id = ids_map.get(term)
+                if term_id is None:
+                    term_id = len(table)
+                    ids_map[term] = term_id
+                    table.append(term)
+                out.append(term_id)
+            ids = np.array(out, dtype=np.int32)
+            self._value_cache[text] = ids
+            self._cached_chars += len(text)
+        return ids
+
+    def term_ids_of_values(self, values: Sequence[str]) -> np.ndarray:
+        """Unique term ids over ``values`` (cells of a tuple), in order.
+
+        Mirrors :meth:`Preprocessor.terms_of_values`: values are processed
+        independently (n-grams never span cells) and duplicates keep their
+        first position.
+        """
+        return unique_in_order([self.term_ids(str(value)) for value in values])
+
+    def decode(self, ids: Sequence[int]) -> List[str]:
+        """Translate an id sequence back to term strings."""
+        terms = self._terms
+        return [terms[int(i)] for i in ids]
