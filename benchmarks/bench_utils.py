@@ -127,6 +127,7 @@ def run_wrw(
     seed: int = 7,
     walk_engine: str = "csr",
     w2v_trainer: str = "vectorized",
+    compression_engine: str = "bulk",
 ) -> WrwRun:
     """Run (and cache) the W-RW pipeline on a named benchmark scenario."""
     scenario = get_scenario(scenario_name)
@@ -144,7 +145,10 @@ def run_wrw(
         config.expansion = ExpansionConfig(resource=scenario.kb)
     if compression_method is not None:
         config.compression = CompressionConfig(
-            enabled=True, method=compression_method, ratio=compression_ratio
+            enabled=True,
+            method=compression_method,
+            ratio=compression_ratio,
+            engine=compression_engine,
         )
     if bucket_numeric:
         config.merge.bucket_numeric = True

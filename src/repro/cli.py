@@ -90,6 +90,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="compress the graph before learning embeddings",
     )
     parser.add_argument("--ratio", type=float, default=0.5, help="compression ratio / beta")
+    parser.add_argument(
+        "--compression-engine",
+        choices=["bulk", "reference"],
+        default="bulk",
+        help="msp/ssp implementation: multi-source CSR BFS (default) or the reference "
+        "per-pair path enumeration",
+    )
     return parser
 
 
@@ -123,13 +130,26 @@ def run(args: argparse.Namespace) -> int:
     if args.expansion and scenario.kb is not None:
         config.expansion = ExpansionConfig(resource=scenario.kb)
     if args.compression:
-        config.compression = CompressionConfig(enabled=True, method=args.compression, ratio=args.ratio)
+        config.compression = CompressionConfig(
+            enabled=True,
+            method=args.compression,
+            ratio=args.ratio,
+            engine=args.compression_engine,
+        )
 
     pipeline = TDMatch(config, seed=args.seed)
     pipeline.fit(scenario.first, scenario.second)
     print(
         f"\ngraph: {pipeline.graph.num_nodes()} nodes, {pipeline.graph.num_edges()} edges"
     )
+    if args.compression:
+        comp = pipeline.state.compression
+        comp_engine = pipeline.timings.note("compression_engine", "-")
+        print(
+            f"compression: {comp.method} engine={comp_engine} "
+            f"nodes {comp.nodes_before}->{comp.nodes_after} "
+            f"edges {comp.edges_before}->{comp.edges_after}"
+        )
 
     # Token blocking needs the corpus texts, which the fitted pipeline does
     # not retain — build the blocker from the scenario and hand it over.

@@ -213,6 +213,8 @@ class TDMatch:
             return None
         with self.timings.measure("compression"):
             seed = derive_rng(self.seed, "compression")
+            if compression_cfg.method in ("msp", "ssp"):
+                self.timings.set_note("compression_engine", compression_cfg.engine)
             if compression_cfg.method == "msp":
                 result = msp_compress(
                     built.graph,
@@ -221,6 +223,7 @@ class TDMatch:
                     beta=compression_cfg.ratio,
                     seed=seed,
                     max_paths_per_pair=compression_cfg.max_paths_per_pair,
+                    engine=compression_cfg.engine,
                 )
             elif compression_cfg.method == "ssp":
                 result = ssp_compress(
@@ -228,6 +231,7 @@ class TDMatch:
                     beta=compression_cfg.ratio,
                     seed=seed,
                     max_paths_per_pair=compression_cfg.max_paths_per_pair,
+                    engine=compression_cfg.engine,
                 )
             elif compression_cfg.method == "ssum":
                 result = ssum_compress(built.graph, target_ratio=compression_cfg.ratio, seed=seed)

@@ -40,6 +40,7 @@ from repro.graph.filtering import (
 from repro.graph.merging import NumericBucketer, EmbeddingMerger, MergeReport
 from repro.graph.expansion import expand_graph, ExpansionResult
 from repro.graph.compression import (
+    COMPRESSION_ENGINES,
     CompressionResult,
     msp_compress,
     ssp_compress,
@@ -50,10 +51,14 @@ from repro.graph.compression import (
 from repro.graph.walks import RandomWalkConfig, generate_walks, iter_walks
 from repro.graph.csr import (
     CSRAdjacency,
+    bfs_levels,
     build_csr,
     build_csr_from_edges,
     csr_adjacency,
+    gather_neighbors,
+    multi_source_dag_union,
     prime_csr_cache,
+    shortest_path_dag_union,
 )
 from repro.graph.walk_engine import (
     CSRWalkEngine,
@@ -83,6 +88,7 @@ __all__ = [
     "MergeReport",
     "expand_graph",
     "ExpansionResult",
+    "COMPRESSION_ENGINES",
     "CompressionResult",
     "msp_compress",
     "ssp_compress",
@@ -93,10 +99,14 @@ __all__ = [
     "generate_walks",
     "iter_walks",
     "CSRAdjacency",
+    "bfs_levels",
     "build_csr",
     "build_csr_from_edges",
     "csr_adjacency",
+    "gather_neighbors",
+    "multi_source_dag_union",
     "prime_csr_cache",
+    "shortest_path_dag_union",
     "CSRWalkEngine",
     "PythonWalkEngine",
     "make_walk_engine",

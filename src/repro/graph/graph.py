@@ -463,19 +463,21 @@ class MatchGraph:
             frontier = next_frontier
         if target not in parents:
             return []
-        # Enumerate paths backwards from the target.
+        # Enumerate paths backwards from the target with an explicit stack:
+        # recursive backtracking overflows the interpreter stack on paths
+        # longer than the recursion limit (e.g. chain-like graphs).  Parents
+        # are pushed in reverse so paths come out in the same depth-first
+        # order the recursive version produced.
         paths: List[List[str]] = []
-
-        def backtrack(node: str, acc: List[str]) -> None:
-            if len(paths) >= limit:
-                return
+        stack: List[Tuple[str, List[str]]] = [(target, [])]
+        while stack and len(paths) < limit:
+            node, acc = stack.pop()
             if node == source:
-                paths.append([source] + list(reversed(acc)))
-                return
-            for parent in parents[node]:
-                backtrack(parent, acc + [node])
-
-        backtrack(target, [])
+                paths.append([source] + acc[::-1])
+                continue
+            suffix = acc + [node]
+            for parent in reversed(parents[node]):
+                stack.append((parent, suffix))
         return paths
 
     def connected_component(self, start: str) -> Set[str]:

@@ -70,12 +70,24 @@ class NumericBucketer:
         self.width = width
 
     @staticmethod
+    def bucket_index(value: float, width: float, origin: float) -> int:
+        """The index of the equal-width bucket that contains ``value``."""
+        return int(np.floor((value - origin) / width))
+
+    @staticmethod
     def bucket_label(value: float, width: float, origin: float) -> str:
-        """The canonical label of the bucket that contains ``value``."""
-        index = int(np.floor((value - origin) / width))
+        """The canonical label of the bucket that contains ``value``.
+
+        The label embeds the bucket *index* alongside repr-precision bounds,
+        so two distinct buckets can never share a label: ``"%g"``-formatted
+        bounds (6 significant digits) collapse for narrow buckets at large
+        origins (e.g. width 0.001 near 1e7 renders both bounds as
+        ``1e+07``), which used to silently merge distinct buckets.
+        """
+        index = NumericBucketer.bucket_index(value, width, origin)
         low = origin + index * width
         high = low + width
-        return f"num[{low:g},{high:g})"
+        return f"num[{low!r},{high!r})#{index}"
 
     def apply(self, graph: MatchGraph) -> MergeReport:
         """Merge all numeric data nodes of ``graph`` into bucket nodes."""
@@ -97,10 +109,16 @@ class NumericBucketer:
         for bucket, members in buckets.items():
             if len(members) < 2:
                 continue
-            graph.add_node(bucket, kind=NodeKind.DATA, corpus="both", role="term")
+            label = bucket
+            while graph.has_node(label):
+                # A pre-existing node (an arbitrary text term, or a node of
+                # another kind) already uses this label; merging into it
+                # would silently rewire unrelated structure.  Rename.
+                label += "~"
+            graph.add_node(label, kind=NodeKind.DATA, corpus="both", role="term")
             for member in members:
-                graph.merge_nodes(bucket, member)
-                report.merged_pairs.append((bucket, member))
+                graph.merge_nodes(label, member)
+                report.merged_pairs.append((label, member))
         return report
 
 

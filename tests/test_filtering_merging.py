@@ -1,6 +1,8 @@
 """Tests for data-node filtering strategies and node merging."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.embeddings.pretrained import build_synthetic_pretrained, synonym_pairs_from_clusters
 from repro.graph.filtering import IntersectFilter, NoFilter, TfIdfFilter
@@ -119,7 +121,61 @@ class TestNumericBucketer:
 
     def test_bucket_label_format(self):
         label = NumericBucketer.bucket_label(12.0, 5.0, 10.0)
-        assert label == "num[10,15)"
+        assert label == "num[10.0,15.0)#0"
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        width=st.floats(min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False),
+        origin=st.floats(min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False),
+        index_a=st.integers(min_value=-10_000, max_value=10_000),
+        index_b=st.integers(min_value=-10_000, max_value=10_000),
+    )
+    def test_distinct_bucket_indices_never_share_a_label(self, width, origin, index_a, index_b):
+        # The "%g" bounds used to collapse for narrow buckets at large
+        # origins; the label now embeds the bucket index, so two distinct
+        # buckets can never render identically.
+        value_a = origin + (index_a + 0.5) * width
+        value_b = origin + (index_b + 0.5) * width
+        ia = NumericBucketer.bucket_index(value_a, width, origin)
+        ib = NumericBucketer.bucket_index(value_b, width, origin)
+        la = NumericBucketer.bucket_label(value_a, width, origin)
+        lb = NumericBucketer.bucket_label(value_b, width, origin)
+        assert (la == lb) == (ia == ib)
+
+    def test_narrow_buckets_at_large_origin_stay_distinct(self):
+        # Regression: width 0.001 near 1e7 — "%g" rendered both bounds as
+        # "1e+07", silently merging distinct buckets into one node.
+        g = MatchGraph()
+        g.add_node("t1", kind=NodeKind.METADATA)
+        values = ("10000000.0002", "10000000.0004", "10000000.0012", "10000000.0014")
+        for value in values:
+            g.add_node(value, kind=NodeKind.DATA)
+            g.add_edge("t1", value)
+        report = NumericBucketer(width=0.001).apply(g)
+        buckets = [n for n in g.data_nodes() if n.startswith("num[")]
+        assert len(buckets) == 2  # one per bucket, not one shared label
+        assert report.num_merged == 4
+
+    def test_bucket_label_collision_with_existing_node_renames(self):
+        g = MatchGraph()
+        g.add_node("t1", kind=NodeKind.METADATA)
+        for value in ("10", "11"):
+            g.add_node(value, kind=NodeKind.DATA)
+            g.add_edge("t1", value)
+        # A pre-existing text term that happens to spell the bucket label.
+        clash = NumericBucketer.bucket_label(10.0, 5.0, 10.0)
+        g.add_node(clash, kind=NodeKind.DATA)
+        g.add_node("other", kind=NodeKind.METADATA)
+        g.add_edge(clash, "other")
+        report = NumericBucketer(width=5.0).apply(g)
+        # The clashing node keeps its own identity and edges...
+        assert g.has_node(clash)
+        assert g.neighbors(clash) == {"other"}
+        # ...and the bucket went in under a renamed label.
+        renamed = [keep for keep, _absorbed in report.merged_pairs]
+        assert all(label != clash for label in renamed)
+        assert g.has_node(clash + "~")
+        assert g.neighbors(clash + "~") == {"t1"}
 
 
 class TestEmbeddingMerger:
