@@ -19,7 +19,7 @@ from repro.graph.walk_engine import CSRWalkEngine, PythonWalkEngine
 from repro.graph.walks import RandomWalkConfig
 from repro.utils.timing import TimingRegistry
 
-from benchmarks.bench_utils import SMOKE, run_wrw, write_result
+from benchmarks.bench_utils import SMOKE, run_wrw, write_bench_json, write_result
 
 SCENARIOS = ["imdb_wt"] if SMOKE else ["imdb_wt", "corona_gen", "politifact"]
 NUM_WALKS = [2, 5] if SMOKE else [2, 5, 10, 20]
@@ -102,6 +102,15 @@ def test_fig7_walk_engine_speedup():
     table = format_table(rows, title="Figure 7 (companion): walk-generation speedup")
     print("\n" + table)
     write_result("fig7_walk_engine_speedup", table)
+    write_bench_json(
+        "fig7_walk_engine_speedup",
+        {
+            "graph": {"nodes": graph.num_nodes(), "edges": graph.num_edges()},
+            "params": {"num_walks": SPEEDUP_NUM_WALKS, "walk_length": SPEEDUP_WALK_LENGTH},
+            "timings": registry.to_dict(),
+            "speedup": {"measured": round(speedup, 2), "floor": 5.0},
+        },
+    )
 
     # The CSR engine is typically 10-40x faster here; assert a conservative
     # floor so the check stays robust on loaded CI machines.

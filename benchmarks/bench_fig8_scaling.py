@@ -33,7 +33,7 @@ from repro.eval.report import format_table
 from repro.graph.builder import GraphBuilder, GraphBuilderConfig
 from repro.retrieval import BlockedTopK, DenseTopK
 
-from benchmarks.bench_utils import BENCH_SEED, SMOKE, write_result
+from benchmarks.bench_utils import BENCH_SEED, SMOKE, write_bench_json, write_result
 
 SCALES = [
     ("tiny", ScenarioSize(n_entities=20, n_queries=40, n_distractors=10)),
@@ -173,6 +173,18 @@ def test_fig8_blocked_vs_dense(benchmark):
     assert rr >= 0.9
     ideal = 1.0 / (1.0 - rr)
     floor = 1.0 + (0.01 if SMOKE else 0.05) * (ideal - 1.0)
+    write_bench_json(
+        "fig8_blocked_vs_dense",
+        {
+            "params": {"queries": row["queries"], "candidates": row["candidates"]},
+            "timings": {"dense_s": row["dense_s"], "blocked_s": row["blocked_s"]},
+            "retrieval": {
+                "scored_pairs": row["scored_pairs"],
+                "reduction_ratio": row["reduction_ratio"],
+            },
+            "speedup": {"measured": row["speedup"], "floor": round(floor, 2)},
+        },
+    )
     assert row["speedup"] >= floor, f"speedup {row['speedup']} below floor {floor:.2f}"
 
 
@@ -258,6 +270,24 @@ def test_fig8_graph_build_speedup(benchmark):
     # deliberately looser.
     speedup = rows[1]["speedup"]
     floor = 2.5 if SMOKE else 4.0
+    write_bench_json(
+        "fig8_graph_build",
+        {
+            "graph": {"nodes": bulk.num_nodes(), "edges": bulk.num_edges()},
+            "timings": {
+                row["engine"]: {
+                    "cold_build_s": row["cold_build_s"],
+                    "warm_build_s": row["graph_build_s"],
+                }
+                for row in rows
+            },
+            "speedup": {
+                "measured": speedup,
+                "floor": floor,
+                "cold_measured": rows[1]["cold_speedup"],
+            },
+        },
+    )
     assert speedup >= floor, f"warm graph-build speedup {speedup} below floor {floor}"
     assert rows[1]["cold_speedup"] >= (0.6 if SMOKE else 0.8), (
         f"bulk engine lost cold builds: {rows[1]['cold_speedup']}x"

@@ -20,7 +20,14 @@ from repro.graph.walk_engine import CSRWalkEngine
 from repro.graph.walks import RandomWalkConfig
 from repro.utils.timing import TimingRegistry
 
-from benchmarks.bench_utils import SMOKE, get_scenario, get_sbert_matcher, run_wrw, write_result
+from benchmarks.bench_utils import (
+    SMOKE,
+    get_scenario,
+    get_sbert_matcher,
+    run_wrw,
+    write_bench_json,
+    write_result,
+)
 
 TASK_SCENARIOS = {
     "text-to-data": "imdb_wt",
@@ -146,6 +153,19 @@ def test_table7_word2vec_trainer_speedup():
     table = format_table(rows, title="Table VII (companion): Word2Vec trainer speedup")
     print("\n" + table)
     write_result("table7_w2v_trainer_speedup", table)
+    write_bench_json(
+        "table7_w2v_trainer_speedup",
+        {
+            "params": {
+                "num_walks": W2V_SPEEDUP_NUM_WALKS,
+                "walk_length": W2V_SPEEDUP_WALK_LENGTH,
+                "epochs": W2V_SPEEDUP_EPOCHS,
+            },
+            "pairs": {trainer: stats[trainer].pairs for trainer in stats},
+            "timings": registry.to_dict(),
+            "speedup": {"measured": round(speedup, 2), "floor": 5.0},
+        },
+    )
 
     # Typically ~7x here; assert a conservative floor for loaded CI machines.
     assert speedup >= 5.0, f"vectorized Word2Vec speedup {speedup:.1f}x below 5x floor"

@@ -19,7 +19,14 @@ from repro.graph.builder import GraphBuilder
 from repro.graph.compression import msp_compress
 from repro.graph.expansion import expand_graph
 
-from benchmarks.bench_utils import SMOKE, get_scenario, run_wrw, wrw_config, write_result
+from benchmarks.bench_utils import (
+    SMOKE,
+    get_scenario,
+    run_wrw,
+    write_bench_json,
+    write_result,
+    wrw_config,
+)
 
 SCENARIOS = ["imdb_wt", "corona_gen", "snopes", "politifact", "audit"]
 
@@ -149,6 +156,17 @@ def test_table8_compression_engine_speedup(benchmark):
 
     speedup = rows[-1]["speedup"]
     floor = 3.0 if SMOKE else 5.0  # smoke shares noisier CI runners
+    write_bench_json(
+        "table8_compression_engine",
+        {
+            "params": {"beta": BENCH_BETA, "seed": BENCH_COMPRESSION_SEED},
+            "graph": {"nodes": bulk.nodes_after, "edges": bulk.edges_after},
+            "timings": {
+                row["engine"]: {"best_s": round(row["best_ms"] / 1000.0, 4)} for row in rows
+            },
+            "speedup": {"measured": speedup, "floor": floor},
+        },
+    )
     assert speedup >= floor, f"bulk compression speedup {speedup}x below floor {floor}x"
 
     # The pipeline records which engine compressed the graph.

@@ -56,6 +56,35 @@ def write_result(name: str, text: str) -> str:
     return path
 
 
+def write_bench_json(name: str, payload: Dict[str, object]) -> str:
+    """Persist machine-readable bench telemetry as ``BENCH_<name>.json``.
+
+    The payload should carry the scenario size, per-stage seconds, engine
+    notes, and measured-vs-floor speedups so CI can archive comparable
+    artifacts across runs.  A ``bench`` name, the scale, and the smoke flag
+    are stamped automatically.
+    """
+    import json
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    payload = dict(payload)
+    payload.setdefault("bench", name)
+    payload.setdefault(
+        "scenario_size",
+        {
+            "n_entities": BENCH_SIZE.n_entities,
+            "n_queries": BENCH_SIZE.n_queries,
+            "n_distractors": BENCH_SIZE.n_distractors,
+        },
+    )
+    payload.setdefault("smoke", SMOKE)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
 # ----------------------------------------------------------------------
 # Scenario and pipeline caches
 @lru_cache(maxsize=None)

@@ -1,21 +1,28 @@
-"""Command-line interface: run a full matching experiment on one scenario.
+"""Command-line interface: run, persist, and serve matching experiments.
 
-Examples::
+Subcommands::
 
-    python -m repro.cli --scenario imdb_wt --size tiny --k 5
-    python -m repro.cli --scenario audit --expansion --compression msp --ratio 0.5
-    python -m repro.cli --scenario imdb_wt --blocking token --k 5
-    python -m repro.cli --list
+    python -m repro.cli run --scenario imdb_wt --size tiny --k 5
+    python -m repro.cli fit-save --scenario imdb_wt --index /tmp/imdb.tdm
+    python -m repro.cli query --index /tmp/imdb.tdm --k 5 --json
 
-The CLI generates the requested synthetic scenario, runs the W-RW pipeline
+``run`` generates the requested synthetic scenario, runs the W-RW pipeline
 (optionally with expansion and compression), evaluates MRR / MAP@k /
 HasPositive@k against the gold matches, and prints the result table plus
-stage timings.
+stage timings.  ``fit-save`` fits a pipeline and writes the single-file
+serving index; ``query`` loads that index in a *fresh process* — no fit —
+and serves ``match()`` from it, memory-mapping the embeddings by default.
+
+Invoking the module with the pre-subcommand flat flags
+(``python -m repro.cli --scenario imdb_wt``) still works and behaves like
+``run``.  ``--json`` on any subcommand emits a machine-readable report
+instead of the tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -32,17 +39,16 @@ _SIZES = {
     "medium": ScenarioSize.medium,
 }
 
+SUBCOMMANDS = ("run", "fit-save", "query")
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Run the TDmatch pipeline on a synthetic benchmark scenario.",
-    )
-    parser.add_argument("--list", action="store_true", help="list available scenarios and exit")
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scenario", default="imdb_wt", choices=sorted(SCENARIO_GENERATORS), help="scenario name")
     parser.add_argument("--size", default="tiny", choices=sorted(_SIZES), help="scenario scale")
     parser.add_argument("--seed", type=int, default=7, help="random seed")
-    parser.add_argument("--k", type=int, default=20, help="top-k candidates per query")
+
+
+def _add_pipeline_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--num-walks", type=int, default=10, help="random walks per node")
     parser.add_argument("--walk-length", type=int, default=15, help="random walk length")
     parser.add_argument(
@@ -97,18 +103,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="msp/ssp implementation: multi-source CSR BFS (default) or the reference "
         "per-pair path enumeration",
     )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The legacy flat parser (``run`` semantics, no subcommand)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run the TDmatch pipeline on a synthetic benchmark scenario.",
+    )
+    parser.add_argument("--list", action="store_true", help="list available scenarios and exit")
+    _add_scenario_arguments(parser)
+    parser.add_argument("--k", type=int, default=20, help="top-k candidates per query")
+    _add_pipeline_arguments(parser)
+    parser.add_argument("--json", action="store_true", help="emit a JSON report instead of tables")
     return parser
 
 
-def run(args: argparse.Namespace) -> int:
-    if args.list:
-        rows = [{"scenario": name} for name in sorted(SCENARIO_GENERATORS)]
-        print(format_table(rows, title="Available scenarios"))
-        return 0
+def build_fit_save_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro fit-save",
+        description="Fit the pipeline on a scenario and write a single-file serving index.",
+    )
+    _add_scenario_arguments(parser)
+    parser.add_argument("--index", required=True, help="output path of the serving index")
+    _add_pipeline_arguments(parser)
+    parser.add_argument(
+        "--mmap-default",
+        action="store_true",
+        help="record mmap=True as the index's default load mode",
+    )
+    parser.add_argument("--json", action="store_true", help="emit a JSON report instead of tables")
+    return parser
 
-    scenario = generate_scenario(args.scenario, size=_SIZES[args.size](), seed=args.seed)
-    print(format_table([scenario.summary()], title="Scenario"))
 
+def build_query_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro query",
+        description="Load a serving index (no fit) and rank candidates for every query.",
+    )
+    parser.add_argument("--index", required=True, help="path of a fit-save serving index")
+    parser.add_argument("--k", type=int, default=20, help="top-k candidates per query")
+    parser.add_argument(
+        "--query-side",
+        choices=["first", "second"],
+        default="first",
+        help="which corpus provides the queries",
+    )
+    mmap_group = parser.add_mutually_exclusive_group()
+    mmap_group.add_argument(
+        "--mmap", dest="mmap", action="store_true", default=None,
+        help="memory-map the embeddings (processes share pages)",
+    )
+    mmap_group.add_argument(
+        "--no-mmap", dest="mmap", action="store_false",
+        help="load private writable copies of the embeddings",
+    )
+    parser.add_argument("--json", action="store_true", help="emit a JSON report instead of tables")
+    return parser
+
+
+def _config_for(scenario, args: argparse.Namespace) -> TDMatchConfig:
+    """Build the pipeline config a ``run``/``fit-save`` invocation asked for."""
     if scenario.task == "text-to-data":
         config = TDMatchConfig.for_text_to_data()
     else:
@@ -136,36 +191,67 @@ def run(args: argparse.Namespace) -> int:
             ratio=args.ratio,
             engine=args.compression_engine,
         )
+    return config
+
+
+def run(args: argparse.Namespace) -> int:
+    if args.list:
+        rows = [{"scenario": name} for name in sorted(SCENARIO_GENERATORS)]
+        print(format_table(rows, title="Available scenarios"))
+        return 0
+
+    scenario = generate_scenario(args.scenario, size=_SIZES[args.size](), seed=args.seed)
+    config = _config_for(scenario, args)
+    emit_json = getattr(args, "json", False)
+    if not emit_json:
+        print(format_table([scenario.summary()], title="Scenario"))
 
     pipeline = TDMatch(config, seed=args.seed)
     pipeline.fit(scenario.first, scenario.second)
-    print(
-        f"\ngraph: {pipeline.graph.num_nodes()} nodes, {pipeline.graph.num_edges()} edges"
-    )
-    if args.compression:
-        comp = pipeline.state.compression
-        comp_engine = pipeline.timings.note("compression_engine", "-")
+    if not emit_json:
         print(
-            f"compression: {comp.method} engine={comp_engine} "
-            f"nodes {comp.nodes_before}->{comp.nodes_after} "
-            f"edges {comp.edges_before}->{comp.edges_after}"
+            f"\ngraph: {pipeline.graph.num_nodes()} nodes, {pipeline.graph.num_edges()} edges"
         )
+        if args.compression:
+            comp = pipeline.state.compression
+            comp_engine = pipeline.timings.note("compression_engine", "-")
+            print(
+                f"compression: {comp.method} engine={comp_engine} "
+                f"nodes {comp.nodes_before}->{comp.nodes_after} "
+                f"edges {comp.edges_before}->{comp.edges_after}"
+            )
 
     # Token blocking needs the corpus texts, which the fitted pipeline does
     # not retain — build the blocker from the scenario and hand it over.
     blocker = None
-    if backend == "blocked" and args.blocking == "token":
+    if config.retrieval.backend == "blocked" and args.blocking == "token":
         token_blocking = TokenBlocking().fit(scenario.candidate_texts())
         blocker = TextQueryBlocker(token_blocking, scenario.query_texts())
 
     result = pipeline.match_result(k=args.k, blocker=blocker)
     rankings = result.rankings
     stats = result.retrieval
+    report = evaluate_rankings("w-rw", rankings, scenario.gold, ks=(1, 5, min(20, args.k)))
+
+    if emit_json:
+        print(
+            json.dumps(
+                {
+                    "scenario": scenario.summary(),
+                    "quality": report.as_dict(),
+                    "result": result.to_dict(),
+                    "report": pipeline.report(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+
     print(
         f"retrieval: backend={stats.backend} scored_pairs={stats.scored_pairs}"
         f"/{stats.all_pairs} reduction_ratio={stats.reduction_ratio:.3f}"
     )
-    report = evaluate_rankings("w-rw", rankings, scenario.gold, ks=(1, 5, min(20, args.k)))
     print()
     print(format_quality_table([report], ks=(1, 5, min(20, args.k)), title="Match quality"))
 
@@ -190,10 +276,89 @@ def run(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_fit_save(args: argparse.Namespace) -> int:
+    scenario = generate_scenario(args.scenario, size=_SIZES[args.size](), seed=args.seed)
+    config = _config_for(scenario, args)
+    config.serving.mmap = bool(args.mmap_default)
+
+    pipeline = TDMatch(config, seed=args.seed)
+    pipeline.fit(scenario.first, scenario.second)
+    path = pipeline.save(args.index)
+
+    import os
+
+    payload = {
+        "index": path,
+        "index_bytes": os.path.getsize(path),
+        "scenario": scenario.summary(),
+        "report": pipeline.report(),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(format_table([scenario.summary()], title="Scenario"))
+    print(
+        f"\nindex written: {path} ({payload['index_bytes']} bytes, "
+        f"{pipeline.graph.num_nodes()} nodes, vocab "
+        f"{len(pipeline.model.vocab)}, mmap default: {config.serving.mmap})"
+    )
+    return 0
+
+
+def run_query(args: argparse.Namespace) -> int:
+    pipeline = TDMatch.load(args.index, mmap=args.mmap)
+    result = pipeline.match_result(k=args.k, query_side=args.query_side)
+
+    if args.json:
+        print(
+            json.dumps(
+                {"result": result.to_dict(), "report": pipeline.report()},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+
+    rows = []
+    for ranking in result.rankings:
+        top = ranking.candidates[0] if ranking.candidates else ("-", float("nan"))
+        rows.append(
+            {
+                "query": ranking.query_id,
+                "top candidate": top[0],
+                "score": round(float(top[1]), 4),
+                "candidates": len(ranking.candidates),
+            }
+        )
+    mmap_note = pipeline.timings.note("serving_mmap", "-")
+    print(
+        format_table(
+            rows,
+            title=f"Top-{args.k} serving results ({args.index}, mmap={mmap_note})",
+        )
+    )
+    stats = result.retrieval
+    if stats is not None:
+        print(
+            f"\nretrieval: backend={stats.backend} scored_pairs={stats.scored_pairs}"
+            f"/{stats.all_pairs} reduction_ratio={stats.reduction_ratio:.3f}"
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    parser = build_parser()
-    args = parser.parse_args(argv)
-    return run(args)
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Subcommand dispatch only when the first token names one; everything
+    # else (including no arguments) parses with the legacy flat parser so
+    # pre-subcommand invocations keep working unchanged.
+    if argv and argv[0] in SUBCOMMANDS:
+        command, rest = argv[0], argv[1:]
+        if command == "fit-save":
+            return run_fit_save(build_fit_save_parser().parse_args(rest))
+        if command == "query":
+            return run_query(build_query_parser().parse_args(rest))
+        return run(build_parser().parse_args(rest))
+    return run(build_parser().parse_args(argv))
 
 
 if __name__ == "__main__":

@@ -1,10 +1,13 @@
 """Core of the reproduction: the TDmatch unsupervised matching pipeline."""
 
 from repro.core.config import (
+    ENGINE_STAGES,
     CompressionConfig,
     ExpansionConfig,
+    IncrementalConfig,
     MergeConfig,
     RetrievalConfig,
+    ServingConfig,
     TDMatchConfig,
 )
 from repro.core.blocking import (
@@ -24,6 +27,9 @@ __all__ = [
     "MergeConfig",
     "ExpansionConfig",
     "CompressionConfig",
+    "ServingConfig",
+    "IncrementalConfig",
+    "ENGINE_STAGES",
     "TDMatch",
     "MatchResult",
     "MetadataMatcher",

@@ -80,6 +80,32 @@ class MatchResult:
     k: int
     retrieval: Optional[RetrievalStats] = None
 
+    def to_dict(self) -> Dict[str, object]:
+        """The result as a plain JSON-able dict (for ``--json`` / reports)."""
+        return {
+            "query_side": self.query_side,
+            "k": self.k,
+            "rankings": {
+                ranking.query_id: [
+                    [candidate_id, float(score)]
+                    for candidate_id, score in ranking.candidates
+                ]
+                for ranking in self.rankings
+            },
+            "retrieval": (
+                {
+                    "backend": self.retrieval.backend,
+                    "n_queries": self.retrieval.n_queries,
+                    "n_candidates": self.retrieval.n_candidates,
+                    "scored_pairs": self.retrieval.scored_pairs,
+                    "all_pairs": self.retrieval.all_pairs,
+                    "reduction_ratio": self.retrieval.reduction_ratio,
+                }
+                if self.retrieval is not None
+                else None
+            ),
+        }
+
 
 @dataclass
 class PipelineState:
@@ -102,6 +128,8 @@ class TDMatch:
         self._state: Optional[PipelineState] = None
         self._builder: Optional[GraphBuilder] = None
         self._builder_config = None  # snapshot the builder was created from
+        self._corpus_kinds: Optional[tuple] = None
+        self._delta_count = 0  # incremental batches applied since fit/load
 
     # ------------------------------------------------------------------
     # Fitting
@@ -109,6 +137,8 @@ class TDMatch:
         """Build the graph over ``first`` and ``second`` and learn embeddings."""
         self._validate_corpus(first, "first")
         self._validate_corpus(second, "second")
+        self._corpus_kinds = (self._corpus_kind(first), self._corpus_kind(second))
+        self._delta_count = 0
 
         with self.timings.measure("graph_build"):
             built = self._graph_builder().build(first, second)
@@ -166,6 +196,14 @@ class TDMatch:
             self._builder = GraphBuilder(self.config.builder)
             self._builder_config = copy.deepcopy(self.config.builder)
         return self._builder
+
+    @staticmethod
+    def _corpus_kind(corpus) -> str:
+        if isinstance(corpus, Table):
+            return "table"
+        if isinstance(corpus, Taxonomy):
+            return "taxonomy"
+        return "text"
 
     def _validate_corpus(self, corpus, position: str) -> None:
         if not isinstance(corpus, (Table, TextCorpus, Taxonomy)):
@@ -365,3 +403,86 @@ class TDMatch:
         self.timings.set_note("compared_pairs", str(stats.scored_pairs))
         self.timings.set_note("reduction_ratio", f"{stats.reduction_ratio:.3f}")
         return MatchResult(rankings=rankings, query_side=query_side, k=k, retrieval=stats)
+
+    # ------------------------------------------------------------------
+    # Persistence (single-file, memory-mappable serving index)
+    def save(self, path: str) -> str:
+        """Serialise the fitted pipeline into a single index file.
+
+        The file contains everything :meth:`match` needs — CSR graph
+        snapshot, embedding matrices, vocabulary, metadata maps, and a
+        config snapshot — and is memory-mappable: ``load(path, mmap=True)``
+        opens the embeddings as shared read-only pages.
+        """
+        from repro.serving.index import save_pipeline
+
+        return save_pipeline(self, path)
+
+    @classmethod
+    def load(cls, path: str, mmap: Optional[bool] = None) -> "TDMatch":
+        """Restore a ready-to-serve pipeline from :meth:`save` output.
+
+        ``mmap=None`` honours the ``serving.mmap`` flag stored in the
+        index; ``True`` memory-maps the arrays (N processes share pages),
+        ``False`` loads private writable copies.
+        """
+        from repro.serving.index import load_pipeline
+
+        return load_pipeline(path, mmap=mmap)
+
+    # ------------------------------------------------------------------
+    # Incremental fit
+    def add_documents(self, documents, side: str = "second") -> List[str]:
+        """Add text documents to a fitted pipeline without a full refit.
+
+        The delta is spliced into the graph, walks are regenerated only in
+        the touched neighbourhood, and the model is warm-start fine-tuned
+        on them.  Returns the new metadata labels.
+        """
+        from repro.serving.incremental import add_documents
+
+        return add_documents(self, documents, side=side)
+
+    def add_records(self, records, side: str = "second") -> List[str]:
+        """Add table rows to a fitted pipeline without a full refit."""
+        from repro.serving.incremental import add_records
+
+        return add_records(self, records, side=side)
+
+    def remove(self, object_ids, side: str = "second") -> List[str]:
+        """Remove objects and their metadata nodes from a fitted pipeline."""
+        from repro.serving.incremental import remove
+
+        return remove(self, object_ids, side=side)
+
+    # ------------------------------------------------------------------
+    # Structured reporting
+    def engines(self) -> Dict[str, str]:
+        """The engine selected for each pipeline stage (see ``ENGINE_STAGES``)."""
+        return dict(self.config.engines)
+
+    def report(self) -> Dict[str, object]:
+        """A JSON-able report of engines, timings, and fitted-state shape."""
+        report: Dict[str, object] = {
+            "engines": self.engines(),
+            "timings": self.timings.to_dict(),
+        }
+        if self._state is not None:
+            built = self._state.built
+            model = self._state.model
+            report["graph"] = {
+                "nodes": built.graph.num_nodes(),
+                "edges": built.graph.num_edges(),
+                "engine": built.engine,
+                "intersect_anchor": built.intersect_anchor,
+            }
+            model_info: Dict[str, object] = {
+                "vocab_size": len(model.vocab) if model.vocab is not None else 0,
+                "vector_size": model.config.vector_size,
+            }
+            if model.stats is not None:
+                model_info["trainer"] = model.stats.trainer
+                model_info["pairs"] = model.stats.pairs
+            report["model"] = model_info
+            report["incremental_deltas"] = self._delta_count
+        return report

@@ -39,6 +39,57 @@ class Vocabulary:
         vocab.freeze()
         return vocab
 
+    @classmethod
+    def from_tokens_and_counts(
+        cls,
+        tokens: Sequence[str],
+        counts: Sequence[int],
+        min_count: int = 1,
+    ) -> "Vocabulary":
+        """Rebuild a vocabulary from parallel token/count lists.
+
+        Ids are assigned in list order, which is what lets a persisted
+        model (see :mod:`repro.serving`) restore the exact token → row
+        correspondence of its embedding matrices.  ``min_count`` is stored
+        but not re-applied — the lists are taken as already filtered.
+        """
+        if len(tokens) != len(counts):
+            raise ValueError("tokens and counts must have the same length")
+        vocab = cls(min_count=min_count)
+        for token, count in zip(tokens, counts):
+            vocab._add(token, int(count))
+        vocab.freeze()
+        return vocab
+
+    def extend_from_sentences(self, sentences: Iterable[Sequence[str]]) -> List[int]:
+        """Grow a frozen vocabulary with the tokens of a delta corpus.
+
+        New tokens are appended (ids stay dense, existing ids unchanged) in
+        the same deterministic ``(-count, token)`` order used at build time;
+        counts of already-known tokens are increased so the negative
+        sampling distribution tracks the grown corpus.  No ``min_count``
+        cut is applied to the delta — an incremental document's metadata
+        label must always enter the vocabulary to receive a vector.
+
+        Returns the ids of the newly added tokens.
+        """
+        counter: Counter = Counter()
+        for sentence in sentences:
+            counter.update(sentence)
+        was_frozen = self._frozen
+        self._frozen = False
+        try:
+            new_ids: List[int] = []
+            for token, count in sorted(counter.items(), key=lambda kv: (-kv[1], kv[0])):
+                idx = self._token_to_id.get(token)
+                if idx is None:
+                    new_ids.append(self._add(token, count))
+                else:
+                    self._counts[idx] += count
+        finally:
+            self._frozen = was_frozen
+        return new_ids
+
     def _add(self, token: str, count: int) -> int:
         if self._frozen:
             raise RuntimeError("vocabulary is frozen")

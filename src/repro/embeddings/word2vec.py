@@ -43,7 +43,7 @@ identical when subsampling is off — see ``tests/test_word2vec_trainers.py``.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -245,6 +245,84 @@ class Word2Vec:
             self.stats.pairs_per_sec,
         )
         return self
+
+    # ------------------------------------------------------------------
+    # Warm-start fine-tuning (incremental fit; see repro.serving)
+    def fine_tune(
+        self,
+        sentences: Sequence[Sequence[str]],
+        epochs: Optional[int] = None,
+        learning_rate: Optional[float] = None,
+    ) -> TrainingStats:
+        """Continue training an already-trained model on a delta corpus.
+
+        The vocabulary grows in place: unseen tokens of ``sentences`` are
+        appended (existing ids — and therefore existing embedding rows —
+        never move) and receive freshly initialised input rows / zero output
+        rows, then the configured trainer runs ``epochs`` epochs over the
+        delta sentences only.  Existing rows that appear in the delta are
+        updated; everything else is untouched, which is what makes a small
+        delta orders of magnitude cheaper than retraining.
+
+        Matrices loaded as read-only memory maps are copied to writable
+        arrays on the first call.  Returns (and stores in :attr:`stats`)
+        the fine-tuning throughput record.
+        """
+        if self.vocab is None or self._input_vectors is None:
+            raise RuntimeError("model is not trained")
+        sentences = [list(s) for s in sentences if s]
+        config = replace(
+            self.config,
+            epochs=epochs if epochs is not None else self.config.epochs,
+            learning_rate=(
+                learning_rate if learning_rate is not None else self.config.learning_rate
+            ),
+        )
+        if not sentences:
+            return TrainingStats(trainer=config.trainer, pairs=0, epochs=0, seconds=0.0)
+
+        old_size = len(self.vocab)
+        self.vocab.extend_from_sentences(sentences)
+        dim = self.config.vector_size
+        w_in = self._input_vectors
+        w_out = self._output_vectors
+        if not w_in.flags.writeable:  # mmap-loaded index: copy on first tune
+            w_in = np.array(w_in)
+        if not w_out.flags.writeable:
+            w_out = np.array(w_out)
+        grown = len(self.vocab) - old_size
+        if grown:
+            fresh = ((self._rng.random((grown, dim)) - 0.5) / dim).astype(w_in.dtype)
+            w_in = np.concatenate([w_in, fresh])
+            w_out = np.concatenate([w_out, np.zeros((grown, dim), dtype=w_out.dtype)])
+        self._input_vectors = w_in
+        self._output_vectors = w_out
+
+        encoded = [self.vocab.encode(s) for s in sentences]
+        encoded = [s for s in encoded if len(s) >= 2]
+        if not encoded:
+            self.stats = TrainingStats(trainer=config.trainer, pairs=0, epochs=0, seconds=0.0)
+            return self.stats
+        keep_probs = (
+            self.vocab.subsample_keep_probabilities(config.subsample)
+            if config.subsample > 0
+            else None
+        )
+        original_config = self.config
+        self.config = config
+        try:
+            start = time.perf_counter()
+            if config.trainer == "reference":
+                pairs = self._train_reference(encoded, keep_probs)
+            else:
+                pairs = self._train_vectorized(encoded, keep_probs)
+            elapsed = time.perf_counter() - start
+        finally:
+            self.config = original_config
+        self.stats = TrainingStats(
+            trainer=config.trainer, pairs=pairs, epochs=config.epochs, seconds=elapsed
+        )
+        return self.stats
 
     def _learning_rate(self, step: int, total_steps: int) -> float:
         progress = min(1.0, step / max(total_steps, 1))

@@ -191,6 +191,11 @@ class BuiltGraph:
         What the filter strategy kept / dropped (identical across engines).
     engine:
         The construction engine that produced the graph.
+    intersect_anchor:
+        Which corpus ("first"/"second") provided the Intersect-filter
+        vocabulary, or None for other strategies.  Incremental fit
+        (:mod:`repro.serving`) freezes this so later deltas cannot flip
+        the anchor side mid-life of an index.
     """
 
     graph: MatchGraph
@@ -198,6 +203,7 @@ class BuiltGraph:
     second_metadata: Dict[str, str]
     filter_stats: Optional[FilterStatistics] = None
     engine: str = "reference"
+    intersect_anchor: Optional[str] = None
 
     def first_labels(self) -> List[str]:
         return list(self.first_metadata.values())
@@ -288,6 +294,11 @@ class GraphBuilder:
             second_metadata=second_metadata,
             filter_stats=stats,
             engine="reference",
+            intersect_anchor=(
+                filter_strategy.anchor
+                if isinstance(filter_strategy, IntersectFilter)
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -532,6 +543,7 @@ class GraphBuilder:
             second_metadata=second_metadata,
             filter_stats=stats,
             engine="bulk",
+            intersect_anchor=getattr(bulk_filter, "anchor", None),
         )
 
     # ------------------------------------------------------------------

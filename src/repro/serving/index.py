@@ -1,0 +1,375 @@
+"""Single-file persistent index for a fitted TDmatch pipeline.
+
+:func:`save_pipeline` serialises everything :meth:`TDMatch.match` needs —
+the CSR graph snapshot, the Word2Vec embedding matrices, the vocabulary,
+the metadata id ↔ label maps, and a config snapshot — into one file, and
+:func:`load_pipeline` restores a ready-to-serve pipeline from it at zero
+fit cost.
+
+File layout::
+
+    bytes 0-7    magic  b"TDMIDX\\x00\\x00"
+    bytes 8-11   format version (uint32, little endian)
+    bytes 12-19  header length H (uint64, little endian)
+    bytes 20-..  JSON header (utf-8): config snapshot, vocabulary,
+                 metadata maps, graph node registry, array directory
+    then         raw array blobs, each aligned to a 64-byte boundary
+
+The arrays are written as contiguous raw bytes with their offsets recorded
+in the header, which is what makes the file *memory-mappable*: with
+``mmap=True`` every array is opened as a read-only :class:`numpy.memmap`
+over the file, so N query processes serving the same index share the
+embedding pages through the OS page cache instead of each materialising a
+private copy.
+
+The graph is restored lazily (:class:`LazyBuiltGraph`): a pure ``match()``
+workload over the dense backend never touches graph topology, so the
+:class:`~repro.graph.graph.MatchGraph` is only materialised from the CSR
+arrays on first access (blocked retrieval, incremental fit, report).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import struct
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import PipelineError
+from repro.embeddings.vocab import Vocabulary
+from repro.embeddings.word2vec import Word2Vec
+from repro.graph.builder import BuiltGraph
+from repro.graph.csr import CSRAdjacency, csr_adjacency, prime_csr_cache
+from repro.graph.filtering import FilterStatistics
+from repro.graph.graph import MatchGraph, NodeKind
+from repro.utils.rng import derive_rng
+
+INDEX_MAGIC = b"TDMIDX\x00\x00"
+INDEX_FORMAT_VERSION = 1
+
+_PREAMBLE = struct.Struct("<8sIQ")  # magic, format version, header length
+_ALIGNMENT = 64
+
+
+class IndexFormatError(PipelineError):
+    """The file is not a TDmatch index, or its format version is unsupported."""
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+
+
+# ----------------------------------------------------------------------
+# Raw container
+def write_index(path: str, header: Dict[str, object], arrays: Dict[str, np.ndarray]) -> str:
+    """Write a header + named-array container to ``path``.
+
+    Array blobs land on 64-byte boundaries; their dtype/shape/offset
+    directory is embedded in the JSON header (offsets relative to the
+    64-aligned start of the data section, so the directory does not depend
+    on its own encoded size).
+    """
+    directory: Dict[str, Dict[str, object]] = {}
+    blobs = []
+    rel = 0
+    for name, arr in arrays.items():
+        arr = np.ascontiguousarray(arr)
+        rel = _align(rel)
+        directory[name] = {
+            "dtype": str(arr.dtype),
+            "shape": list(arr.shape),
+            "offset": rel,
+        }
+        blobs.append((rel, arr))
+        rel += arr.nbytes
+    full_header = dict(header)
+    full_header["arrays"] = directory
+    payload = json.dumps(full_header, separators=(",", ":")).encode("utf-8")
+    preamble = _PREAMBLE.pack(INDEX_MAGIC, INDEX_FORMAT_VERSION, len(payload))
+    data_start = _align(len(preamble) + len(payload))
+    with open(path, "wb") as handle:
+        handle.write(preamble)
+        handle.write(payload)
+        handle.write(b"\x00" * (data_start - len(preamble) - len(payload)))
+        position = 0
+        for rel, arr in blobs:
+            if rel > position:
+                handle.write(b"\x00" * (rel - position))
+                position = rel
+            handle.write(arr.tobytes())
+            position += arr.nbytes
+    return path
+
+
+def read_index(
+    path: str, mmap: bool = False
+) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+    """Read a container written by :func:`write_index`.
+
+    With ``mmap=True`` every array is a read-only :class:`numpy.memmap`
+    into the file (shared pages across processes); otherwise the arrays
+    are materialised as ordinary writable ndarrays.
+    """
+    with open(path, "rb") as handle:
+        preamble = handle.read(_PREAMBLE.size)
+        if len(preamble) < _PREAMBLE.size or preamble[:8] != INDEX_MAGIC:
+            raise IndexFormatError(f"{path!r} is not a TDmatch index (bad magic)")
+        _magic, version, header_len = _PREAMBLE.unpack(preamble)
+        if version != INDEX_FORMAT_VERSION:
+            raise IndexFormatError(
+                f"index {path!r} has format version {version}, but this build "
+                f"reads version {INDEX_FORMAT_VERSION}; re-create the index with "
+                "TDMatch.save() from a matching version"
+            )
+        header = json.loads(handle.read(header_len).decode("utf-8"))
+        data_start = _align(_PREAMBLE.size + header_len)
+        arrays: Dict[str, np.ndarray] = {}
+        for name, meta in header["arrays"].items():
+            dtype = np.dtype(meta["dtype"])
+            shape = tuple(meta["shape"])
+            offset = data_start + int(meta["offset"])
+            if mmap:
+                arrays[name] = np.memmap(
+                    path, dtype=dtype, mode="r", offset=offset, shape=shape
+                )
+            else:
+                handle.seek(offset)
+                count = int(np.prod(shape)) if shape else 1
+                arrays[name] = np.fromfile(handle, dtype=dtype, count=count).reshape(shape)
+    return header, arrays
+
+
+# ----------------------------------------------------------------------
+# Lazy graph restoration
+class LazyBuiltGraph(BuiltGraph):
+    """A :class:`BuiltGraph` whose MatchGraph materialises on first access.
+
+    ``match()`` over the dense backend only needs embedding rows, so a
+    loaded index defers rebuilding the dict-of-sets adjacency until
+    something (blocked retrieval, incremental fit, ``report()``) actually
+    asks for ``.graph``.
+    """
+
+    def __init__(self, materialize, **kwargs):
+        self._materialize_fn = materialize
+        self._graph_obj = None
+        super().__init__(graph=None, **kwargs)
+
+    @property  # type: ignore[override]
+    def graph(self):
+        if self._graph_obj is None:
+            self._graph_obj = self._materialize_fn()
+        return self._graph_obj
+
+    @graph.setter
+    def graph(self, value):
+        self._graph_obj = value
+
+    @property
+    def materialized(self) -> bool:
+        return self._graph_obj is not None
+
+
+def _materialize_graph(labels, kinds, corpora, roles, indptr, indices) -> MatchGraph:
+    """Rebuild a MatchGraph (and prime its CSR cache) from saved arrays."""
+    graph = MatchGraph()
+    graph.add_nodes_bulk(
+        labels, kind=[NodeKind(k) for k in kinds], corpus=corpora, role=roles
+    )
+    indptr = np.asarray(indptr, dtype=np.int64)
+    indices = np.asarray(indices, dtype=np.int32)
+    src = np.repeat(
+        np.arange(len(labels), dtype=np.int64), np.diff(indptr)
+    )
+    dst = indices.astype(np.int64)
+    keep = src < dst  # each undirected edge appears in both directions
+    label_arr = np.array(labels, dtype=object)
+    graph.add_edges_bulk(label_arr[src[keep]], label_arr[dst[keep]], assume_unique=True)
+    prime_csr_cache(
+        graph,
+        CSRAdjacency(
+            indptr=indptr,
+            indices=indices,
+            labels=list(labels),
+            ids={label: i for i, label in enumerate(labels)},
+            graph_version=graph.version,
+        ),
+    )
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Config snapshot ↔ restore
+def _jsonable(value):
+    """Best-effort JSON projection of a config value.
+
+    Nested dataclasses recurse; attached runtime objects (pre-trained
+    embedding resources, knowledge bases) are not serialisable and are
+    stored as null — a loaded pipeline serves matches, it does not re-run
+    merging or expansion.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name)) for f in dataclasses.fields(value)
+        }
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return None
+
+
+def _restore_config_fields(instance, data: Dict[str, object]) -> None:
+    """Apply a saved field dict onto a config dataclass instance, recursively."""
+    for f in dataclasses.fields(instance):
+        if f.name not in data:
+            continue  # field added after the index was written: keep the default
+        value = data[f.name]
+        current = getattr(instance, f.name)
+        if dataclasses.is_dataclass(current) and isinstance(value, dict):
+            _restore_config_fields(current, value)
+        else:
+            setattr(instance, f.name, value)
+    post_init = getattr(instance, "__post_init__", None)
+    if post_init is not None:
+        post_init()
+
+
+def config_to_dict(config) -> Dict[str, object]:
+    """JSON-able snapshot of a :class:`TDMatchConfig`."""
+    return _jsonable(config)
+
+
+def config_from_dict(data: Dict[str, object]):
+    """Rebuild a :class:`TDMatchConfig` from :func:`config_to_dict` output."""
+    from repro.core.config import TDMatchConfig
+
+    config = TDMatchConfig()
+    _restore_config_fields(config, data)
+    return config
+
+
+# ----------------------------------------------------------------------
+# Pipeline save / load
+def save_pipeline(pipeline, path: str) -> str:
+    """Serialise a fitted pipeline into a single index file at ``path``."""
+    state = pipeline.state  # raises NotFittedError when unfitted
+    built = state.built
+    model = state.model
+    if model.vocab is None or model._input_vectors is None:
+        raise PipelineError("cannot save a pipeline whose model is untrained")
+    graph = built.graph
+    csr = csr_adjacency(graph)
+    kinds = []
+    corpora = []
+    roles = []
+    for label in csr.labels:
+        info = graph.node_info(label)
+        kinds.append(info.kind.value)
+        corpora.append(info.corpus)
+        roles.append(info.role)
+    filter_stats = built.filter_stats
+    seed = pipeline.seed if isinstance(pipeline.seed, (int, str)) else None
+    header: Dict[str, object] = {
+        "seed": seed,
+        "config": config_to_dict(pipeline.config),
+        "corpus_kinds": list(getattr(pipeline, "_corpus_kinds", None) or ()),
+        "engine": built.engine,
+        "intersect_anchor": built.intersect_anchor,
+        "filter_stats": (
+            {
+                "first_total": filter_stats.first_total,
+                "first_kept": filter_stats.first_kept,
+                "second_total": filter_stats.second_total,
+                "second_kept": filter_stats.second_kept,
+            }
+            if filter_stats is not None
+            else None
+        ),
+        "first_metadata": dict(built.first_metadata),
+        "second_metadata": dict(built.second_metadata),
+        "vocab": {
+            "tokens": model.vocab.tokens,
+            "counts": [int(c) for c in model.vocab.counts_array()],
+            "min_count": model.vocab.min_count,
+        },
+        "graph": {
+            "labels": csr.labels,
+            "kinds": kinds,
+            "corpora": corpora,
+            "roles": roles,
+            "num_edges": graph.num_edges(),
+        },
+        "notes": dict(pipeline.timings.notes),
+    }
+    arrays: Dict[str, np.ndarray] = {
+        "csr_indptr": csr.indptr,
+        "csr_indices": csr.indices,
+        "w2v_input": model._input_vectors,
+    }
+    if pipeline.config.serving.include_output_vectors and model._output_vectors is not None:
+        arrays["w2v_output"] = model._output_vectors
+    return write_index(path, header, arrays)
+
+
+def load_pipeline(path: str, mmap: Optional[bool] = None):
+    """Restore a ready-to-serve :class:`TDMatch` from an index file.
+
+    ``mmap=None`` defers to the ``serving.mmap`` flag saved in the index
+    config; ``True`` opens the arrays as shared read-only memory maps,
+    ``False`` materialises private writable copies.
+    """
+    # Imported here, not at module top: repro.core.pipeline lazily imports
+    # this module for TDMatch.save/load.
+    from repro.core.pipeline import PipelineState, TDMatch
+
+    # A memmap open reads no array data, so probe with it and only fall back
+    # to materialised copies when the final decision is mmap=False.
+    header, arrays = read_index(path, mmap=True)
+    if mmap is None:
+        serving = (header.get("config") or {}).get("serving") or {}
+        mmap = bool(serving.get("mmap", False))
+    if not mmap:
+        header, arrays = read_index(path, mmap=False)
+
+    config = config_from_dict(header["config"])
+    seed = header.get("seed")
+    pipeline = TDMatch(config, seed=seed)
+
+    model = Word2Vec(config.word2vec, seed=derive_rng(seed, "word2vec", "serving"))
+    vocab_data = header["vocab"]
+    model.vocab = Vocabulary.from_tokens_and_counts(
+        vocab_data["tokens"], vocab_data["counts"], min_count=vocab_data["min_count"]
+    )
+    model._input_vectors = arrays["w2v_input"]
+    model._output_vectors = arrays.get("w2v_output")
+
+    graph_data = header["graph"]
+    stats_data = header.get("filter_stats")
+    built = LazyBuiltGraph(
+        materialize=lambda: _materialize_graph(
+            graph_data["labels"],
+            graph_data["kinds"],
+            graph_data["corpora"],
+            graph_data["roles"],
+            arrays["csr_indptr"],
+            arrays["csr_indices"],
+        ),
+        first_metadata=dict(header["first_metadata"]),
+        second_metadata=dict(header["second_metadata"]),
+        filter_stats=FilterStatistics(**stats_data) if stats_data else None,
+        engine=header.get("engine", "bulk"),
+        intersect_anchor=header.get("intersect_anchor"),
+    )
+    pipeline._state = PipelineState(built=built, model=model)
+    kinds = header.get("corpus_kinds") or None
+    pipeline._corpus_kinds = tuple(kinds) if kinds else None
+    for name, value in (header.get("notes") or {}).items():
+        pipeline.timings.set_note(name, value)
+    pipeline.timings.set_note("serving_mmap", str(bool(mmap)))
+    pipeline.timings.set_note("serving_index", path)
+    return pipeline

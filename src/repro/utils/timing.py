@@ -90,6 +90,24 @@ class TimingRegistry:
         """Return total seconds per name."""
         return {name: self.total(name) for name in self.names()}
 
+    def to_dict(self) -> Dict[str, Dict[str, object]]:
+        """The full registry as a plain JSON-able dict.
+
+        ``stages`` maps each measurement name to its total seconds (and the
+        individual samples, for benches that record best-of-N), ``notes``
+        carries the provenance strings verbatim.
+        """
+        return {
+            "stages": {
+                name: {
+                    "seconds": self.total(name),
+                    "samples": list(self.records[name]),
+                }
+                for name in self.names()
+            },
+            "notes": dict(self.notes),
+        }
+
 
 @contextmanager
 def timed(registry: Optional[TimingRegistry], name: str) -> Iterator[None]:
