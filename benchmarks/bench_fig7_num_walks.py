@@ -51,6 +51,7 @@ def test_fig7_num_walks(benchmark):
     table = format_table(rows, title="Figure 7: MAP@5 vs number of walks per node")
     print("\n" + table)
     write_result("fig7_num_walks", table)
+    write_bench_json("fig7_num_walks", {"rows": rows})
 
     by_key = {(r["scenario"], r["num_walks"]): r["MAP@5"] for r in rows}
     for scenario_name in SCENARIOS:

@@ -76,6 +76,7 @@ def test_fig8_scaling(benchmark):
     table = format_table(rows, title="Figure 8: execution time vs graph size (STS-derived graphs)")
     print("\n" + table)
     write_result("fig8_scaling", table)
+    write_bench_json("fig8_scaling", {"rows": rows})
 
     # Graphs grow with the scenario scale and runtime grows with them, but
     # sub-quadratically (the paper reports linear growth).

@@ -103,6 +103,7 @@ def test_table7_execution_times(benchmark):
     table = format_table(rows, title="Table VII: train and test execution times (seconds)")
     print("\n" + table)
     write_result("table7_times", table)
+    write_bench_json("table7_times", {"rows": rows})
 
     by_key = {(r["task"], r["method"]): r for r in rows}
     for task in TASK_SCENARIOS:

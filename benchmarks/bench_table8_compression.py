@@ -67,6 +67,7 @@ def test_table8_compression(benchmark):
     table = format_table(rows, title="Table VIII: compression performance (#nodes, #edges, MRR)")
     print("\n" + table)
     write_result("table8_compression", table)
+    write_bench_json("table8_compression", {"rows": rows})
 
     by_key = {(r["scenario"], r["graph"]): r for r in rows}
     for scenario_name in SCENARIOS:

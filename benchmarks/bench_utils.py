@@ -78,6 +78,7 @@ def write_bench_json(name: str, payload: Dict[str, object]) -> str:
         },
     )
     payload.setdefault("smoke", SMOKE)
+    payload.setdefault("num_workers", 0)
     path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

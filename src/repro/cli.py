@@ -103,6 +103,13 @@ def _add_pipeline_arguments(parser: argparse.ArgumentParser) -> None:
         help="msp/ssp implementation: multi-source CSR BFS (default) or the reference "
         "per-pair path enumeration",
     )
+    parser.add_argument(
+        "--num-workers",
+        type=int,
+        default=0,
+        help="worker processes sharding the fit's walk/compression/word2vec stages "
+        "(0 = serial, the default; results are deterministic per shard count)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -175,6 +182,7 @@ def _config_for(scenario, args: argparse.Namespace) -> TDMatchConfig:
     config.word2vec.vector_size = args.vector_size
     config.word2vec.epochs = args.epochs
     config.word2vec.trainer = args.w2v_trainer
+    config.parallel.num_workers = args.num_workers
     backend = args.retrieval_backend
     if args.blocking and backend != "blocked":
         backend = "blocked"  # --blocking implies the blocked backend

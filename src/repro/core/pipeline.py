@@ -158,18 +158,25 @@ class TDMatch:
         # Walk sentences stream straight into Word2Vec training instead of
         # materialising the full corpus first; the stopwatch around each
         # ``next()`` keeps "walks" and "word2vec" separately attributed.
-        engine = make_walk_engine(built.graph, self.config.walks)
+        parallel = self.config.parallel
+        engine = make_walk_engine(built.graph, self.config.walks, parallel=parallel)
         walk_timer = Stopwatch()
         sentences = _timed_iter(
             engine.iter_walks(seed=derive_rng(self.seed, "walks")), walk_timer
         )
         train_start = time.perf_counter()
-        model = Word2Vec(self.config.word2vec, seed=derive_rng(self.seed, "word2vec"))
+        model = Word2Vec(
+            self.config.word2vec, seed=derive_rng(self.seed, "word2vec"), parallel=parallel
+        )
         model.train(sentences)
         train_total = time.perf_counter() - train_start
         self.timings.add("walks", walk_timer.stop())
         self.timings.add("word2vec", max(0.0, train_total - walk_timer.elapsed))
         self.timings.set_note("walk_engine", engine.name)
+        self.timings.set_note("num_workers", str(parallel.num_workers))
+        if parallel.enabled:
+            self.timings.set_note("parallel_shards", str(parallel.shards))
+            self.timings.set_note("parallel_stages", ",".join(parallel.stage_names()))
         if model.stats is not None:
             self.timings.set_note("w2v_trainer", model.stats.trainer)
             self.timings.set_note("w2v_pairs_per_sec", f"{model.stats.pairs_per_sec:.0f}")
@@ -262,6 +269,7 @@ class TDMatch:
                     seed=seed,
                     max_paths_per_pair=compression_cfg.max_paths_per_pair,
                     engine=compression_cfg.engine,
+                    parallel=self.config.parallel,
                 )
             elif compression_cfg.method == "ssp":
                 result = ssp_compress(
@@ -270,6 +278,7 @@ class TDMatch:
                     seed=seed,
                     max_paths_per_pair=compression_cfg.max_paths_per_pair,
                     engine=compression_cfg.engine,
+                    parallel=self.config.parallel,
                 )
             elif compression_cfg.method == "ssum":
                 result = ssum_compress(built.graph, target_ratio=compression_cfg.ratio, seed=seed)

@@ -43,6 +43,7 @@ identical when subsampling is off — see ``tests/test_word2vec_trainers.py``.
 from __future__ import annotations
 
 import time
+from contextlib import ExitStack
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -95,6 +96,78 @@ def segment_scatter_add(matrix: np.ndarray, indices: np.ndarray, updates: np.nda
         shape=(seg_starts.size, sorted_idx.size),
     )
     matrix[sorted_idx[seg_starts]] += one_hot @ updates
+
+
+def pair_update(
+    w_in: np.ndarray,
+    w_out: np.ndarray,
+    in_ids: np.ndarray,
+    out_ids: np.ndarray,
+    negatives: np.ndarray,
+    lr: float,
+) -> None:
+    """One mini-batch SGD step: ``in`` tokens predict ``out`` tokens.
+
+    Skip-gram passes (centers, contexts); pairwise CBOW passes (contexts,
+    centers).  ``negatives`` holds the batch's shared negative ids (shape
+    ``(K,)``): every pair of the batch is trained against the same K
+    alias-sampled negatives, so the negative side reduces to three dense
+    matmuls — score ``in_vecs @ neg_vecs.T``, input gradient
+    ``g_neg @ neg_vecs``, output gradient ``g_neg.T @ in_vecs`` — with no
+    per-pair scatter.  Positive-side mathematics match the reference update
+    exactly; its gradients accumulate through :func:`segment_scatter_add`.
+
+    A module-level function (not a method) so the parallel trainer's worker
+    processes run the exact same update against local matrix copies — see
+    :mod:`repro.parallel.trainer`.
+    """
+    in_vecs = w_in[in_ids]                          # (B, D)
+    pos_vecs = w_out[out_ids]                       # (B, D)
+    neg_vecs = w_out[negatives]                     # (K, D)
+
+    pos_scores = _sigmoid(np.einsum("bd,bd->b", in_vecs, pos_vecs))
+    neg_scores = _sigmoid(in_vecs @ neg_vecs.T)     # (B, K)
+
+    # Fold the step size into the (small) coefficient arrays so the
+    # (rows, D) gradient blocks are built already scaled.
+    g_pos = (pos_scores - 1.0) * (-lr)              # (B,)
+    g_neg = neg_scores * (-lr)                      # (B, K)
+
+    grad_in = g_pos[:, None] * pos_vecs
+    grad_in += g_neg @ neg_vecs                     # (B, K) @ (K, D)
+    segment_scatter_add(w_in, in_ids, grad_in)
+    segment_scatter_add(w_out, out_ids, g_pos[:, None] * in_vecs)
+    # K rows only; np.add.at keeps duplicate negative draws accumulated.
+    np.add.at(w_out, negatives, g_neg.T @ in_vecs)
+
+
+def run_pair_batches(
+    w_in: np.ndarray,
+    w_out: np.ndarray,
+    in_ids: np.ndarray,
+    out_ids: np.ndarray,
+    negatives: np.ndarray,
+    batch_size: int,
+    step: int,
+    total_steps: int,
+    learning_rate: float,
+    min_learning_rate: float,
+) -> int:
+    """Run consecutive mini-batches over a pair slice; returns the new step.
+
+    ``negatives`` holds one row per batch of the slice; the learning rate
+    decays on the *global* step, so a shard starting at pair offset ``p``
+    passes ``step = epoch_start + p`` and reproduces exactly the rates the
+    serial loop would use for those batches.
+    """
+    n_pairs = int(in_ids.shape[0])
+    for i, start in enumerate(range(0, n_pairs, batch_size)):
+        stop = min(start + batch_size, n_pairs)
+        progress = min(1.0, step / max(total_steps, 1))
+        lr = max(min_learning_rate, learning_rate * (1.0 - progress))
+        pair_update(w_in, w_out, in_ids[start:stop], out_ids[start:stop], negatives[i], lr)
+        step += stop - start
+    return step
 
 
 @dataclass
@@ -185,8 +258,12 @@ class Word2VecConfig:
 class Word2Vec:
     """Skip-gram / CBOW with negative sampling."""
 
-    def __init__(self, config: Optional[Word2VecConfig] = None, seed=None):
+    def __init__(self, config: Optional[Word2VecConfig] = None, seed=None, parallel=None):
         self.config = config or Word2VecConfig()
+        # A repro.parallel.ParallelConfig (or None): when it enables the
+        # word2vec stage with a multi-shard plan, the vectorized trainer
+        # shards each epoch across workers (see repro.parallel.trainer).
+        self.parallel = parallel
         self._rng = ensure_rng(seed)
         self.vocab: Optional[Vocabulary] = None
         self.stats: Optional[TrainingStats] = None
@@ -446,6 +523,19 @@ class Word2Vec:
     # ------------------------------------------------------------------
     # Vectorized trainer: per-epoch numpy extraction, alias negatives,
     # segment-sum scatter
+    def _shard_trainer(self):
+        """The sharded epoch runner, when the parallel layer enables it."""
+        parallel = self.parallel
+        if (
+            parallel is None
+            or not parallel.stage_enabled("word2vec")
+            or parallel.shards <= 1
+        ):
+            return None
+        from repro.parallel.trainer import EpochShardTrainer
+
+        return EpochShardTrainer(parallel)
+
     def _train_vectorized(
         self, encoded: List[List[int]], keep_probs: Optional[np.ndarray]
     ) -> int:
@@ -455,45 +545,69 @@ class Word2Vec:
 
         step = 0
         total_steps = 0
-        for epoch in range(self.config.epochs):
-            centers, contexts = self._extract_pairs_vectorized(
-                flat_ids, lengths, keep_probs
-            )
-            if centers.size == 0:
+        with ExitStack() as stack:
+            shard_trainer = self._shard_trainer()
+            if shard_trainer is not None:
+                stack.enter_context(shard_trainer)
+            for epoch in range(self.config.epochs):
+                centers, contexts = self._extract_pairs_vectorized(
+                    flat_ids, lengths, keep_probs
+                )
+                if centers.size == 0:
+                    if epoch == 0:
+                        raise ValueError("no training pairs could be extracted")
+                    continue  # an unlucky subsampling epoch; windows resample next epoch
+                n_pairs = centers.size
                 if epoch == 0:
-                    raise ValueError("no training pairs could be extracted")
-                continue  # an unlucky subsampling epoch; windows resample next epoch
-            n_pairs = centers.size
-            if epoch == 0:
-                # Windows resample per epoch so later epochs differ slightly
-                # in pair count; the first epoch anchors the decay schedule.
-                total_steps = self.config.epochs * n_pairs
-            order = self._rng.permutation(n_pairs)
-            centers = centers[order]
-            contexts = contexts[order]
-            batch_size = min(
-                self.config.batch_size,
-                max(1, -(-n_pairs // MIN_NEGATIVE_REFRESHES)),
-            )
-            # One alias draw covers every batch of the epoch.
-            n_batches = -(-n_pairs // batch_size)
-            negatives = sampler.sample(
-                self._rng, size=(n_batches, self.config.negative)
-            )
-            for i, start in enumerate(range(0, n_pairs, batch_size)):
-                stop = min(start + batch_size, n_pairs)
-                lr = self._learning_rate(step, total_steps)
-                if self.config.sg:
-                    self._pair_update(
-                        centers[start:stop], contexts[start:stop], negatives[i], lr
+                    # Windows resample per epoch so later epochs differ slightly
+                    # in pair count; the first epoch anchors the decay schedule.
+                    total_steps = self.config.epochs * n_pairs
+                order = self._rng.permutation(n_pairs)
+                centers = centers[order]
+                contexts = contexts[order]
+                batch_size = min(
+                    self.config.batch_size,
+                    max(1, -(-n_pairs // MIN_NEGATIVE_REFRESHES)),
+                )
+                # One alias draw covers every batch of the epoch.
+                n_batches = -(-n_pairs // batch_size)
+                negatives = sampler.sample(
+                    self._rng, size=(n_batches, self.config.negative)
+                )
+                # Pairwise CBOW: the context token predicts the center.
+                in_ids, out_ids = (
+                    (centers, contexts) if self.config.sg else (contexts, centers)
+                )
+                # All RNG consumption (windows, permutation, negatives)
+                # happened above, in the parent, exactly as in the serial
+                # path — the epoch runners below are RNG-free.
+                if shard_trainer is not None:
+                    step = shard_trainer.run_epoch(
+                        self._input_vectors,
+                        self._output_vectors,
+                        in_ids,
+                        out_ids,
+                        negatives,
+                        batch_size,
+                        step,
+                        total_steps,
+                        self.config.learning_rate,
+                        self.config.min_learning_rate,
                     )
                 else:
-                    # Pairwise CBOW: the context token predicts the center.
-                    self._pair_update(
-                        contexts[start:stop], centers[start:stop], negatives[i], lr
+                    step = run_pair_batches(
+                        self._input_vectors,
+                        self._output_vectors,
+                        in_ids,
+                        out_ids,
+                        negatives,
+                        batch_size,
+                        step,
+                        total_steps,
+                        self.config.learning_rate,
+                        self.config.min_learning_rate,
                     )
-                step += stop - start
-            logger.debug("word2vec epoch %d/%d done", epoch + 1, self.config.epochs)
+                logger.debug("word2vec epoch %d/%d done", epoch + 1, self.config.epochs)
         return step
 
     def _extract_pairs_vectorized(
@@ -556,39 +670,8 @@ class Word2Vec:
     def _pair_update(
         self, in_ids: np.ndarray, out_ids: np.ndarray, negatives: np.ndarray, lr: float
     ) -> None:
-        """One mini-batch SGD step: ``in`` tokens predict ``out`` tokens.
-
-        Skip-gram passes (centers, contexts); pairwise CBOW passes
-        (contexts, centers).  ``negatives`` holds the batch's shared
-        negative ids (shape ``(K,)``): every pair of the batch is trained
-        against the same K alias-sampled negatives, so the negative side
-        reduces to three dense matmuls — score ``in_vecs @ neg_vecs.T``,
-        input gradient ``g_neg @ neg_vecs``, output gradient
-        ``g_neg.T @ in_vecs`` — with no per-pair scatter.  Positive-side
-        mathematics match the reference update exactly; its gradients
-        accumulate through :func:`segment_scatter_add`.
-        """
-        w_in = self._input_vectors
-        w_out = self._output_vectors
-
-        in_vecs = w_in[in_ids]                          # (B, D)
-        pos_vecs = w_out[out_ids]                       # (B, D)
-        neg_vecs = w_out[negatives]                     # (K, D)
-
-        pos_scores = _sigmoid(np.einsum("bd,bd->b", in_vecs, pos_vecs))
-        neg_scores = _sigmoid(in_vecs @ neg_vecs.T)     # (B, K)
-
-        # Fold the step size into the (small) coefficient arrays so the
-        # (rows, D) gradient blocks are built already scaled.
-        g_pos = (pos_scores - 1.0) * (-lr)              # (B,)
-        g_neg = neg_scores * (-lr)                      # (B, K)
-
-        grad_in = g_pos[:, None] * pos_vecs
-        grad_in += g_neg @ neg_vecs                     # (B, K) @ (K, D)
-        segment_scatter_add(w_in, in_ids, grad_in)
-        segment_scatter_add(w_out, out_ids, g_pos[:, None] * in_vecs)
-        # K rows only; np.add.at keeps duplicate negative draws accumulated.
-        np.add.at(w_out, negatives, g_neg.T @ in_vecs)
+        """One mini-batch SGD step on the model matrices (see :func:`pair_update`)."""
+        pair_update(self._input_vectors, self._output_vectors, in_ids, out_ids, negatives, lr)
 
     # ------------------------------------------------------------------
     # Lookup

@@ -175,6 +175,7 @@ def msp_compress(
     seed=None,
     max_paths_per_pair: int = 16,
     engine: str = "bulk",
+    parallel=None,
 ) -> CompressionResult:
     """Metadata Shortest Path compression (Algorithm 3).
 
@@ -198,6 +199,11 @@ def msp_compress(
     engine:
         ``"bulk"`` (multi-source CSR BFS, default) or ``"reference"``
         (per-pair path enumeration).
+    parallel:
+        Optional :class:`repro.parallel.ParallelConfig`; when it enables
+        the compression stage, the bulk engine's DAG-union sweep shards
+        across worker processes (output-identical to the serial sweep).
+        The reference engine ignores it.
     """
     if not 0 < beta:
         raise ValueError("beta must be positive")
@@ -214,7 +220,7 @@ def msp_compress(
     pairs = _sample_pair_indices(rng, len(first_metadata), len(second_metadata), iterations)
 
     if engine == "bulk":
-        compressed = _msp_bulk(graph, first_metadata, second_metadata, pairs)
+        compressed = _msp_bulk(graph, first_metadata, second_metadata, pairs, parallel=parallel)
     else:
         compressed = _msp_reference(
             graph, first_metadata, second_metadata, pairs, max_paths_per_pair
@@ -244,8 +250,19 @@ def _msp_reference(
     return _build_compressed(graph, collector.nodes, collector.edges)
 
 
-def _grouped_dag_union(csr, by_source: Dict[int, Set[int]]):
-    """Run the batched DAG-union sweep over a ``{source: targets}`` grouping."""
+def _grouped_dag_union(csr, by_source: Dict[int, Set[int]], parallel=None):
+    """Run the batched DAG-union sweep over a ``{source: targets}`` grouping.
+
+    ``parallel`` (a :class:`repro.parallel.ParallelConfig`) shards the sweep
+    across worker processes when it enables the compression stage; the
+    downstream masks and ``dedup_edge_ids`` make the result order- and
+    duplicate-insensitive, so the sharded sweep is output-identical.
+    """
+    if parallel is not None and parallel.stage_enabled("compression"):
+        # Imported lazily: repro.parallel.compression imports repro.graph.csr.
+        from repro.parallel.compression import parallel_grouped_dag_union
+
+        return parallel_grouped_dag_union(csr, by_source, parallel)
     sources = sorted(by_source)
     return multi_source_dag_union(
         csr,
@@ -272,6 +289,7 @@ def _msp_bulk(
     first_metadata: Sequence[str],
     second_metadata: Sequence[str],
     pairs: Sequence[Tuple[int, int]],
+    parallel=None,
 ) -> MatchGraph:
     csr = csr_adjacency(graph)
     first_ids = csr.encode(first_metadata).astype(np.int64)
@@ -299,7 +317,7 @@ def _msp_bulk(
             connected_mask[edge_u] = True
             connected_mask[edge_v] = True
 
-    collect(*_grouped_dag_union(csr, by_source))
+    collect(*_grouped_dag_union(csr, by_source, parallel=parallel))
 
     _ensure_metadata_connected_bulk(
         csr, first_ids, second_ids, node_mask, connected_mask, collect
@@ -414,8 +432,13 @@ def ssp_compress(
     seed=None,
     max_paths_per_pair: int = 16,
     engine: str = "bulk",
+    parallel=None,
 ) -> CompressionResult:
-    """Shortest-path sampling over uniformly random node pairs."""
+    """Shortest-path sampling over uniformly random node pairs.
+
+    ``parallel`` shards the bulk engine's DAG-union sweep exactly as in
+    :func:`msp_compress`.
+    """
     if not 0 < beta:
         raise ValueError("beta must be positive")
     _check_engine(engine)
@@ -439,7 +462,7 @@ def ssp_compress(
             if i == j:
                 continue
             by_source.setdefault(int(node_ids[i]), set()).add(int(node_ids[j]))
-        dag_nodes, edge_u, edge_v = _grouped_dag_union(csr, by_source)
+        dag_nodes, edge_u, edge_v = _grouped_dag_union(csr, by_source, parallel=parallel)
         node_mask = np.zeros(csr.num_nodes, dtype=bool)
         if dag_nodes.size:
             node_mask[dag_nodes] = True

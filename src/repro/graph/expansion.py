@@ -63,10 +63,16 @@ def expand_graph(
     nodes_before = graph.num_nodes()
     edges_before = graph.num_edges()
 
-    nodes_added = 0
-    edges_added = 0
     # Iterate over a snapshot: expansion adds nodes that must not themselves
     # be expanded (only original data nodes are looked up, per Algorithm 2).
+    # The whole pass is collected first and emitted as ONE bulk node add and
+    # ONE bulk edge add: a single graph-version bump each instead of a cache
+    # invalidation per relation.  ``add_edges_bulk`` dedups within the batch
+    # and against existing edges, matching ``add_edge``'s per-call semantics.
+    new_nodes: list = []
+    seen: set = set()
+    edge_u: list = []
+    edge_v: list = []
     for label in list(graph.nodes()):
         if graph.is_metadata(label):
             continue
@@ -76,11 +82,16 @@ def expand_graph(
         for neighbor in related:
             if not neighbor or neighbor == label:
                 continue
-            if not graph.has_node(neighbor):
-                graph.add_node(neighbor, kind=NodeKind.DATA, corpus="external", role="external")
-                nodes_added += 1
-            if graph.add_edge(label, neighbor):
-                edges_added += 1
+            if neighbor not in seen and not graph.has_node(neighbor):
+                seen.add(neighbor)
+                new_nodes.append(neighbor)
+            edge_u.append(label)
+            edge_v.append(neighbor)
+
+    nodes_added = graph.add_nodes_bulk(
+        new_nodes, kind=NodeKind.DATA, corpus="external", role="external"
+    )
+    edges_added = graph.add_edges_bulk(edge_u, edge_v)
 
     sink_removed = 0
     if remove_sinks:

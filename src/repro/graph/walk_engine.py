@@ -49,6 +49,49 @@ logger = get_logger(__name__)
 DEFAULT_BATCH_SIZE = 32768
 
 
+def walk_batch_ids(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    start_ids: np.ndarray,
+    walk_length: int,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Advance one batch of walks to completion over raw CSR arrays.
+
+    The id-matrix core of :meth:`CSRWalkEngine.walk_batch`, taking bare
+    ``indptr``/``indices`` so worker processes can run it against
+    shared-memory views without rebuilding a :class:`CSRAdjacency`
+    (see :mod:`repro.parallel.walks`).  Returns ``(walks, lengths)``: an
+    ``int32`` matrix of shape ``(len(start_ids), walk_length)`` and the
+    effective length of each row.
+    """
+    n_walks = int(start_ids.size)
+    walks = np.zeros((n_walks, walk_length), dtype=np.int32)
+    walks[:, 0] = start_ids
+    lengths = np.ones(n_walks, dtype=np.int64)
+    if walk_length == 1 or n_walks == 0:
+        return walks, lengths
+
+    current = start_ids.astype(np.int64, copy=True)
+    active = (indptr[current + 1] - indptr[current]) > 0
+    for step in range(1, walk_length):
+        active_idx = np.nonzero(active)[0]
+        if active_idx.size == 0:
+            break
+        cur = current[active_idx]
+        row_start = indptr[cur]
+        degrees = indptr[cur + 1] - row_start
+        offsets = rng.integers(0, degrees)
+        nxt = indices[row_start + offsets].astype(np.int64)
+        walks[active_idx, step] = nxt
+        current[active_idx] = nxt
+        lengths[active_idx] = step + 1
+        stuck = (indptr[nxt + 1] - indptr[nxt]) == 0
+        if stuck.any():
+            active[active_idx[stuck]] = False
+    return walks, lengths
+
+
 class PythonWalkEngine:
     """Reference engine: step-at-a-time walks over the dict adjacency."""
 
@@ -110,32 +153,9 @@ class CSRWalkEngine:
         """
         if csr is None:
             csr = self.csr
-        length = self.config.walk_length
-        n_walks = int(start_ids.size)
-        walks = np.zeros((n_walks, length), dtype=np.int32)
-        walks[:, 0] = start_ids
-        lengths = np.ones(n_walks, dtype=np.int64)
-        if length == 1 or n_walks == 0:
-            return walks, lengths
-
-        current = start_ids.astype(np.int64, copy=True)
-        active = csr.degree_of(current) > 0
-        for step in range(1, length):
-            active_idx = np.nonzero(active)[0]
-            if active_idx.size == 0:
-                break
-            cur = current[active_idx]
-            row_start = csr.indptr[cur]
-            degrees = csr.indptr[cur + 1] - row_start
-            offsets = rng.integers(0, degrees)
-            nxt = csr.indices[row_start + offsets].astype(np.int64)
-            walks[active_idx, step] = nxt
-            current[active_idx] = nxt
-            lengths[active_idx] = step + 1
-            stuck = csr.degree_of(nxt) == 0
-            if stuck.any():
-                active[active_idx[stuck]] = False
-        return walks, lengths
+        return walk_batch_ids(
+            csr.indptr, csr.indices, start_ids, self.config.walk_length, rng
+        )
 
     # -- sentence views ------------------------------------------------
     def iter_walks(self, seed=None) -> Iterator[List[str]]:
@@ -171,17 +191,26 @@ def make_walk_engine(
     graph: MatchGraph,
     config: Optional[RandomWalkConfig] = None,
     batch_size: Optional[int] = None,
+    parallel=None,
 ):
     """Instantiate the engine selected by ``config.walk_engine``.
 
-    The CSR engine falls back to the python engine when the snapshot cannot
-    be built (the failure is logged, never raised): walk generation must
-    succeed wherever the reference engine would.
+    ``parallel`` (a :class:`repro.parallel.ParallelConfig`) upgrades the
+    CSR engine to the sharded :class:`repro.parallel.walks.ParallelWalkEngine`
+    when the parallel layer is enabled for the walk stage; the python
+    engine ignores it.  The CSR engines fall back to the python engine when
+    the snapshot cannot be built (the failure is logged, never raised):
+    walk generation must succeed wherever the reference engine would.
     """
     config = config or RandomWalkConfig()
     if config.walk_engine == "python":
         return PythonWalkEngine(graph, config)
     try:
+        if parallel is not None and parallel.stage_enabled("walks"):
+            # Imported lazily: repro.parallel.walks imports this module.
+            from repro.parallel.walks import ParallelWalkEngine
+
+            return ParallelWalkEngine(graph, config, batch_size=batch_size, parallel=parallel)
         return CSRWalkEngine(graph, config, batch_size=batch_size)
     except Exception as exc:
         logger.warning(

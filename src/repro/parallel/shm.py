@@ -1,0 +1,216 @@
+"""Shared-memory plumbing of the parallel fit: arena, attach, worker pool.
+
+The parent process owns every segment: :class:`ShmArena` creates them (one
+copy of each input array, plus zero-initialised output blocks) and
+guarantees close+unlink on exit — **including when a worker raises
+mid-fit** — so a failing shard never leaks ``/dev/shm`` segments.  Workers
+attach segments by name (:func:`attached`), getting zero-copy views of the
+CSR arrays; attachment unregisters from the resource tracker so the
+parent's unlink stays the single authority and interpreter shutdown stays
+warning-free.
+
+:class:`WorkerPool` wraps ``ProcessPoolExecutor`` behind the
+``ParallelConfig`` switch: ``num_workers<=1`` executes tasks inline in the
+parent (the parity path — same task functions, same shard plan, no
+processes), anything above fans out.  Keep the arena *outside* the pool
+context so workers finish (or die) before segments are unlinked.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import get_context, shared_memory
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.parallel.config import ParallelConfig
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class SharedArray:
+    """A picklable descriptor of one shared-memory numpy array."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker registration.
+
+    Only the creating arena may own a segment's lifetime.  On Python < 3.13
+    attaching registers with the resource tracker too, which double-books
+    the segment: a spawn-started worker's own tracker would unlink it at
+    worker exit (the classic "leaked shared_memory" unlink race), and under
+    fork an unregister from the shared tracker would break the parent's
+    entry instead.  Suppressing registration for the attach sidesteps both;
+    3.13+ exposes this directly as ``track=False``.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class ShmArena:
+    """Context manager owning a set of shared-memory segments.
+
+    Every segment created through :meth:`share` / :meth:`empty` is closed
+    and unlinked on ``__exit__`` no matter how the block terminates; a
+    worker exception propagates *after* cleanup.  The class-level
+    :meth:`live_segments` view exists for leak regression tests.
+    """
+
+    _live: Set[str] = set()
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._views: Dict[str, np.ndarray] = {}
+
+    # -- lifecycle -----------------------------------------------------
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close and unlink every segment (idempotent, exception-safe)."""
+        self._views.clear()
+        for name, segment in list(self._segments.items()):
+            try:
+                segment.close()
+            except BufferError:
+                # A caller still holds a view; unlink regardless — the
+                # mapping stays valid until the last reference drops.
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+            except Exception as exc:  # pragma: no cover - platform-specific
+                logger.warning("could not unlink shared memory %s: %s", name, exc)
+            ShmArena._live.discard(name)
+        self._segments.clear()
+
+    @classmethod
+    def live_segments(cls) -> Set[str]:
+        """Names of segments created by any arena and not yet unlinked."""
+        return set(cls._live)
+
+    # -- allocation ----------------------------------------------------
+    def _create(self, nbytes: int) -> shared_memory.SharedMemory:
+        segment = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+        self._segments[segment.name] = segment
+        ShmArena._live.add(segment.name)
+        return segment
+
+    def share(self, array: np.ndarray) -> SharedArray:
+        """Copy ``array`` into a new segment and return its descriptor."""
+        array = np.ascontiguousarray(array)
+        segment = self._create(array.nbytes)
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+        self._views[segment.name] = view
+        return SharedArray(segment.name, tuple(array.shape), str(array.dtype))
+
+    def empty(self, shape: Sequence[int], dtype) -> Tuple[SharedArray, np.ndarray]:
+        """A zero-initialised output block: (descriptor, parent view)."""
+        shape = tuple(int(s) for s in shape)
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        segment = self._create(nbytes)
+        view = np.ndarray(shape, dtype=dtype, buffer=segment.buf)
+        view[...] = 0
+        self._views[segment.name] = view
+        return SharedArray(segment.name, shape, str(dtype)), view
+
+    def view(self, desc: SharedArray) -> np.ndarray:
+        """The parent-side view of a segment created by this arena."""
+        return self._views[desc.name]
+
+
+@contextmanager
+def attached(*descs: SharedArray):
+    """Worker-side zero-copy views of shared segments, by descriptor.
+
+    Yields one ndarray per descriptor; handles are closed (not unlinked —
+    the creating arena owns that) when the block exits.
+    """
+    segments: List[shared_memory.SharedMemory] = []
+    arrays: List[np.ndarray] = []
+    try:
+        for desc in descs:
+            segment = _attach_untracked(desc.name)
+            segments.append(segment)
+            arrays.append(np.ndarray(desc.shape, dtype=np.dtype(desc.dtype), buffer=segment.buf))
+        yield arrays
+    finally:
+        del arrays
+        for segment in segments:
+            try:
+                segment.close()
+            except BufferError:  # a view escaped; process exit cleans up
+                pass
+
+
+class WorkerPool:
+    """Task fan-out behind the ``ParallelConfig.num_workers`` switch."""
+
+    def __init__(self, config: ParallelConfig):
+        self.config = config
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    @property
+    def inline(self) -> bool:
+        return self.config.num_workers <= 1
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def run(self, fn, tasks: Sequence[tuple]) -> List[object]:
+        """Run ``fn(*task)`` for every task, returning results in order.
+
+        Inline mode (and a single task) runs in the parent — the same code
+        path the workers execute, which is what makes ``num_workers=1`` the
+        bit-exact baseline of any worker count at a fixed shard plan.  On a
+        worker failure the first exception propagates after the remaining
+        futures are cancelled, leaving segment cleanup to the enclosing
+        arena.
+        """
+        tasks = list(tasks)
+        if self.inline or len(tasks) <= 1:
+            return [fn(*args) for args in tasks]
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=min(self.config.num_workers, len(tasks)),
+                mp_context=get_context(self.config.start_method()),
+            )
+        futures = [self._executor.submit(fn, *args) for args in tasks]
+        try:
+            return [future.result() for future in futures]
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise

@@ -92,6 +92,54 @@ class TestExpansion:
         assert result.nodes_after == example_graph.num_nodes()
         assert result.edges_after == example_graph.num_edges()
 
+    @pytest.mark.parametrize("max_relations", [None, 1])
+    @pytest.mark.parametrize("remove_sinks", [True, False])
+    def test_batched_expansion_matches_per_relation_reference(
+        self, kb, max_relations, remove_sinks
+    ):
+        # expand_graph now emits ONE add_nodes_bulk + ONE add_edges_bulk per
+        # pass; parity against the original per-relation loop must be exact:
+        # same node insertion order, metadata, edge set, and result counts.
+        kb.add_relation("comedy", "relatedTo", "drama")  # both endpoints pre-exist
+        kb.add_relation("thriller", "relatedTo", "pulp fiction")  # shared new node
+
+        batched = build_example_graph()
+        result = expand_graph(
+            batched, kb, max_relations_per_node=max_relations, remove_sinks=remove_sinks
+        )
+
+        reference = build_example_graph()
+        nodes_added = 0
+        edges_added = 0
+        for label in list(reference.nodes()):
+            if reference.is_metadata(label):
+                continue
+            related = kb.related(label)
+            if max_relations is not None:
+                related = list(related)[:max_relations]
+            for neighbor in related:
+                if not neighbor or neighbor == label:
+                    continue
+                if not reference.has_node(neighbor):
+                    reference.add_node(
+                        neighbor, kind=NodeKind.DATA, corpus="external", role="external"
+                    )
+                    nodes_added += 1
+                if reference.add_edge(label, neighbor):
+                    edges_added += 1
+        sink_removed = (
+            reference.remove_sink_nodes(protect_metadata=True) if remove_sinks else 0
+        )
+
+        assert result.nodes_added == nodes_added
+        assert result.edges_added == edges_added
+        assert result.sink_nodes_removed == sink_removed
+        assert batched.nodes() == reference.nodes()
+        assert set(batched.edges()) == set(reference.edges())
+        assert batched.num_edges() == reference.num_edges()
+        for label in batched.nodes():
+            assert batched.node_info(label) == reference.node_info(label)
+
 
 class TestMspCompression:
     def test_compressed_graph_contains_all_metadata(self, example_graph):

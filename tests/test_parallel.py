@@ -1,0 +1,444 @@
+"""Tests for the sharded parallel fit layer (``repro.parallel``).
+
+Covers the determinism contract end to end — ``num_workers=1`` with one
+shard is bit-identical to the serial engines for all three sharded stages,
+and at a fixed shard count every worker count produces identical output —
+plus shared-memory teardown hygiene (a failing shard never leaks
+``/dev/shm`` segments) and the RNG stream discipline (hypothesis property:
+each shard's walk rows depend only on the base seed, its index, and its
+slice, never on the other shards).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import cli
+from repro.core.config import CompressionConfig, TDMatchConfig
+from repro.core.pipeline import TDMatch
+from repro.embeddings.word2vec import Word2Vec, Word2VecConfig
+from repro.graph.compression import msp_compress
+from repro.graph.csr import csr_adjacency
+from repro.graph.graph import MatchGraph, NodeKind
+from repro.graph.walk_engine import CSRWalkEngine, make_walk_engine
+from repro.graph.walks import RandomWalkConfig
+from repro.parallel import (
+    ParallelConfig,
+    ParallelWalkEngine,
+    ShmArena,
+    WorkerPool,
+    attached,
+    shard_ranges,
+    shard_streams,
+)
+from repro.parallel.walks import walk_shard
+
+
+# ----------------------------------------------------------------------
+# Fixtures
+def random_graph(num_nodes: int = 50, num_edges: int = 220, seed: int = 3) -> MatchGraph:
+    g = MatchGraph()
+    rng = np.random.default_rng(seed)
+    for i in range(num_nodes):
+        g.add_node(f"n{i}")
+    for _ in range(num_edges):
+        u, v = rng.integers(0, num_nodes, 2)
+        if u != v:
+            g.add_edge(f"n{u}", f"n{v}")
+    return g
+
+
+def metadata_graph() -> MatchGraph:
+    """A two-corpus graph msp_compress and the pipeline can run on."""
+    g = MatchGraph()
+    rng = np.random.default_rng(5)
+    terms = [f"term{i}" for i in range(30)]
+    for t in terms:
+        g.add_node(t, kind=NodeKind.DATA)
+    for i in range(8):
+        g.add_node(f"t{i}", kind=NodeKind.METADATA, corpus="first", role="tuple")
+        for j in rng.choice(30, size=6, replace=False):
+            g.add_edge(f"t{i}", terms[j])
+    for i in range(8):
+        g.add_node(f"p{i}", kind=NodeKind.METADATA, corpus="second", role="document")
+        for j in rng.choice(30, size=6, replace=False):
+            g.add_edge(f"p{i}", terms[j])
+    return g
+
+
+def sentences_corpus(n: int = 80, length: int = 10, vocab: int = 40, seed: int = 1):
+    ids = np.random.default_rng(seed).integers(0, vocab, (n, length))
+    return [[f"w{i}" for i in row] for row in ids]
+
+
+# ----------------------------------------------------------------------
+# Config validation
+class TestParallelConfig:
+    def test_defaults_are_serial(self):
+        config = ParallelConfig()
+        assert config.num_workers == 0
+        assert not config.enabled
+        assert config.shards == 1
+        for stage in ("walks", "compression", "word2vec"):
+            assert not config.stage_enabled(stage)
+
+    def test_enabled_stages(self):
+        config = ParallelConfig(num_workers=2, shard_compression=False)
+        assert config.enabled
+        assert config.shards == 2
+        assert config.stage_enabled("walks")
+        assert not config.stage_enabled("compression")
+        assert config.stage_names() == ("walks", "word2vec")
+
+    def test_explicit_shards_override_workers(self):
+        assert ParallelConfig(num_workers=2, num_shards=5).shards == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(num_workers=-1)
+        with pytest.raises(ValueError):
+            ParallelConfig(num_shards=0)
+        with pytest.raises(ValueError):
+            ParallelConfig(mp_context="bogus")
+        with pytest.raises(ValueError):
+            ParallelConfig().stage_enabled("bogus")
+
+
+# ----------------------------------------------------------------------
+# Shared-memory arena + teardown hygiene (satellite: no leaked segments)
+def _boom(desc):
+    with attached(desc):
+        raise RuntimeError("shard failure")
+
+
+def _walk_boom(*args):
+    raise RuntimeError("walk shard died")
+
+
+def _read_first(desc):
+    with attached(desc) as (array,):
+        return float(array.flat[0])
+
+
+class TestShmArena:
+    def test_share_and_view_roundtrip(self):
+        data = np.arange(12, dtype=np.float32).reshape(3, 4)
+        with ShmArena() as arena:
+            desc = arena.share(data)
+            assert desc.shape == (3, 4) and desc.dtype == "float32"
+            assert np.array_equal(arena.view(desc), data)
+            with attached(desc) as (view,):
+                assert np.array_equal(view, data)
+            assert desc.name in ShmArena.live_segments()
+        assert desc.name not in ShmArena.live_segments()
+
+    def test_empty_blocks_are_zeroed(self):
+        with ShmArena() as arena:
+            desc, view = arena.empty((4, 2), np.int64)
+            assert view.shape == (4, 2)
+            assert not view.any()
+            view[1, 1] = 7
+            with attached(desc) as (worker_view,):
+                assert worker_view[1, 1] == 7
+
+    def test_segments_unlinked_after_exit(self):
+        with ShmArena() as arena:
+            desc = arena.share(np.ones(8))
+        with pytest.raises(FileNotFoundError):
+            with attached(desc):
+                pass
+
+    @pytest.mark.parametrize("num_workers", [1, 2])
+    def test_failing_shard_leaks_no_segments(self, num_workers):
+        # The teardown-hygiene regression: a worker exception mid-fit must
+        # propagate AND leave every segment unlinked, inline and pooled.
+        config = ParallelConfig(num_workers=num_workers)
+        before = ShmArena.live_segments()
+        with pytest.raises(RuntimeError, match="shard failure"):
+            with ShmArena() as arena, WorkerPool(config) as pool:
+                desc = arena.share(np.ones(16))
+                pool.run(_boom, [(desc,), (desc,)])
+        assert ShmArena.live_segments() == before
+        with pytest.raises(FileNotFoundError):
+            with attached(desc):
+                pass
+
+    def test_pool_runs_tasks_in_order(self):
+        config = ParallelConfig(num_workers=2)
+        with ShmArena() as arena, WorkerPool(config) as pool:
+            descs = [arena.share(np.full(4, float(i))) for i in range(3)]
+            results = pool.run(_read_first, [(d,) for d in descs])
+        assert results == [0.0, 1.0, 2.0]
+
+
+# ----------------------------------------------------------------------
+# Walk sharding
+class TestParallelWalks:
+    def test_single_shard_bit_identical_to_serial(self):
+        graph = random_graph()
+        config = RandomWalkConfig(num_walks=4, walk_length=10)
+        serial = CSRWalkEngine(graph, config).generate_walks(seed=11)
+        parallel = ParallelWalkEngine(
+            graph, config, parallel=ParallelConfig(num_workers=1, num_shards=1)
+        ).generate_walks(seed=11)
+        assert parallel == serial
+
+    def test_worker_count_invariant_at_fixed_shards(self):
+        graph = random_graph()
+        config = RandomWalkConfig(num_walks=3, walk_length=8)
+        one = ParallelWalkEngine(
+            graph, config, parallel=ParallelConfig(num_workers=1, num_shards=2)
+        ).generate_walks(seed=19)
+        two = ParallelWalkEngine(
+            graph, config, parallel=ParallelConfig(num_workers=2, num_shards=2)
+        ).generate_walks(seed=19)
+        assert one == two
+        serial = CSRWalkEngine(graph, config).generate_walks(seed=19)
+        assert len(one) == len(serial)
+        assert sorted(w[0] for w in one) == sorted(w[0] for w in serial)
+
+    def test_deterministic_across_runs(self):
+        graph = random_graph()
+        config = RandomWalkConfig(num_walks=3, walk_length=8)
+        parallel = ParallelConfig(num_workers=2, num_shards=3)
+        first = ParallelWalkEngine(graph, config, parallel=parallel).generate_walks(seed=4)
+        second = ParallelWalkEngine(graph, config, parallel=parallel).generate_walks(seed=4)
+        assert first == second
+
+    def test_more_shards_than_start_nodes(self):
+        graph = random_graph(num_nodes=5, num_edges=12)
+        config = RandomWalkConfig(num_walks=2, walk_length=6)
+        parallel = ParallelConfig(num_workers=2, num_shards=16)
+        walks = ParallelWalkEngine(graph, config, parallel=parallel).generate_walks(seed=2)
+        serial = CSRWalkEngine(graph, config).generate_walks(seed=2)
+        assert len(walks) == len(serial)
+
+    def test_make_walk_engine_dispatch(self):
+        graph = random_graph()
+        engine = make_walk_engine(graph, parallel=ParallelConfig(num_workers=2))
+        assert isinstance(engine, ParallelWalkEngine)
+        assert engine.name == "csr-parallel"
+        # Disabled stage or serial config keeps the plain CSR engine.
+        off = make_walk_engine(graph, parallel=ParallelConfig(num_workers=2, shard_walks=False))
+        assert type(off) is CSRWalkEngine
+        serial = make_walk_engine(graph, parallel=ParallelConfig())
+        assert type(serial) is CSRWalkEngine
+
+    def test_failing_walk_shard_leaks_no_segments(self, monkeypatch):
+        import repro.parallel.walks as walks_module
+
+        monkeypatch.setattr(walks_module, "_walk_shard_task", _walk_boom)
+        graph = random_graph()
+        engine = ParallelWalkEngine(
+            graph,
+            RandomWalkConfig(num_walks=2, walk_length=6),
+            parallel=ParallelConfig(num_workers=2, num_shards=2),
+        )
+        before = ShmArena.live_segments()
+        with pytest.raises(RuntimeError, match="walk shard died"):
+            engine.generate_walks(seed=1)
+        assert ShmArena.live_segments() == before
+
+
+# ----------------------------------------------------------------------
+# RNG stream discipline (satellite: hypothesis property)
+class TestShardStreams:
+    @given(
+        n=st.integers(min_value=0, max_value=200),
+        num_shards=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_shard_ranges_partition(self, n, num_shards):
+        ranges = shard_ranges(n, num_shards)
+        assert len(ranges) == num_shards
+        cursor = 0
+        for lo, hi in ranges:
+            assert lo == cursor and hi >= lo
+            cursor = hi
+        assert cursor == n
+        sizes = [hi - lo for lo, hi in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(
+        base=st.integers(min_value=0, max_value=2**32 - 1),
+        num_shards=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_shard_output_depends_only_on_base_index_and_slice(
+        self, base, num_shards, seed
+    ):
+        # The disjoint-range-stability property behind the determinism
+        # contract: shard i's rows are a pure function of (base seed, i,
+        # its slice) — recomputing any one shard in isolation reproduces
+        # exactly the rows the full multi-shard run wrote for it.
+        graph = random_graph(num_nodes=24, num_edges=90, seed=seed)
+        csr = csr_adjacency(graph)
+        start_ids = np.arange(csr.num_nodes, dtype=np.int64)
+        num_walks, walk_length, batch_size = 2, 6, 7
+
+        full = np.zeros((num_walks * csr.num_nodes, walk_length), dtype=np.int32)
+        full_lengths = np.zeros(num_walks * csr.num_nodes, dtype=np.int64)
+        offsets = []
+        row = 0
+        for (lo, hi), rng in zip(
+            shard_ranges(csr.num_nodes, num_shards), shard_streams(base, num_shards)
+        ):
+            offsets.append(row)
+            row += walk_shard(
+                csr.indptr, csr.indices, start_ids[lo:hi], rng,
+                num_walks, walk_length, batch_size, full, full_lengths, row_offset=row,
+            )
+
+        for i, (lo, hi) in enumerate(shard_ranges(csr.num_nodes, num_shards)):
+            rows = (hi - lo) * num_walks
+            alone = np.zeros((rows, walk_length), dtype=np.int32)
+            alone_lengths = np.zeros(rows, dtype=np.int64)
+            rng = shard_streams(base, num_shards)[i]
+            walk_shard(
+                csr.indptr, csr.indices, start_ids[lo:hi], rng,
+                num_walks, walk_length, batch_size, alone, alone_lengths,
+            )
+            assert np.array_equal(full[offsets[i] : offsets[i] + rows], alone)
+            assert np.array_equal(
+                full_lengths[offsets[i] : offsets[i] + rows], alone_lengths
+            )
+
+
+# ----------------------------------------------------------------------
+# Compression sharding
+class TestParallelCompression:
+    @pytest.mark.parametrize(
+        "parallel",
+        [
+            ParallelConfig(num_workers=1, num_shards=3),
+            ParallelConfig(num_workers=2),
+            ParallelConfig(num_workers=2, num_shards=5),
+        ],
+    )
+    def test_msp_output_identical_to_serial(self, parallel):
+        graph = metadata_graph()
+        first = [f"t{i}" for i in range(8)]
+        second = [f"p{i}" for i in range(8)]
+        serial = msp_compress(graph, first, second, beta=2.0, seed=13)
+        sharded = msp_compress(graph, first, second, beta=2.0, seed=13, parallel=parallel)
+        assert sharded.graph.nodes() == serial.graph.nodes()
+        assert set(sharded.graph.edges()) == set(serial.graph.edges())
+        assert sharded.graph.num_edges() == serial.graph.num_edges()
+
+    def test_disabled_stage_ignores_parallel(self):
+        graph = metadata_graph()
+        first = [f"t{i}" for i in range(8)]
+        second = [f"p{i}" for i in range(8)]
+        serial = msp_compress(graph, first, second, beta=1.0, seed=3)
+        off = msp_compress(
+            graph, first, second, beta=1.0, seed=3,
+            parallel=ParallelConfig(num_workers=2, shard_compression=False),
+        )
+        assert off.graph.nodes() == serial.graph.nodes()
+        assert set(off.graph.edges()) == set(serial.graph.edges())
+
+
+# ----------------------------------------------------------------------
+# Word2Vec epoch sharding
+class TestParallelWord2Vec:
+    CONFIG = dict(vector_size=24, epochs=2, batch_size=16)
+
+    def _train(self, parallel=None, sg=True):
+        model = Word2Vec(
+            Word2VecConfig(sg=sg, **self.CONFIG), seed=21, parallel=parallel
+        )
+        model.train(sentences_corpus())
+        return model
+
+    @pytest.mark.parametrize("sg", [True, False])
+    def test_single_shard_bit_identical_to_serial(self, sg):
+        serial = self._train(sg=sg)
+        single = self._train(ParallelConfig(num_workers=1, num_shards=1), sg=sg)
+        assert np.array_equal(serial._input_vectors, single._input_vectors)
+        assert np.array_equal(serial._output_vectors, single._output_vectors)
+
+    def test_worker_count_invariant_at_fixed_shards(self):
+        one = self._train(ParallelConfig(num_workers=1, num_shards=2))
+        two = self._train(ParallelConfig(num_workers=2, num_shards=2))
+        assert np.array_equal(one._input_vectors, two._input_vectors)
+        assert np.array_equal(one._output_vectors, two._output_vectors)
+
+    def test_sharded_training_close_to_serial(self):
+        # Sharded epochs apply per-shard deltas from the epoch-start
+        # snapshot, so results differ from serial — but only by the
+        # cross-shard interaction terms within one epoch.
+        serial = self._train()
+        sharded = self._train(ParallelConfig(num_workers=1, num_shards=4))
+        assert serial._input_vectors.shape == sharded._input_vectors.shape
+        diff = np.abs(serial._input_vectors - sharded._input_vectors).max()
+        assert diff < 0.5
+
+    def test_deterministic_across_runs(self):
+        parallel = ParallelConfig(num_workers=2, num_shards=3)
+        first = self._train(parallel)
+        second = self._train(parallel)
+        assert np.array_equal(first._input_vectors, second._input_vectors)
+
+
+# ----------------------------------------------------------------------
+# Pipeline end-to-end + CLI
+def _pipeline_config(num_workers: int, num_shards=None) -> TDMatchConfig:
+    config = TDMatchConfig.fast()
+    config.compression = CompressionConfig(enabled=True, method="msp", ratio=1.0)
+    config.parallel.num_workers = num_workers
+    config.parallel.num_shards = num_shards
+    return config
+
+
+class TestPipelineParallel:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        from repro.datasets import ScenarioSize, generate_scenario
+
+        return generate_scenario(
+            "imdb_wt", size=ScenarioSize(n_entities=12, n_queries=16, n_distractors=6), seed=7
+        )
+
+    def _fit(self, scenario, num_workers, num_shards=None):
+        pipeline = TDMatch(_pipeline_config(num_workers, num_shards), seed=23)
+        pipeline.fit(scenario.first, scenario.second)
+        return pipeline
+
+    def test_single_shard_fit_matches_serial(self, scenario):
+        serial = self._fit(scenario, 0)
+        single = self._fit(scenario, 1, num_shards=1)
+        assert np.array_equal(
+            serial.state.model._input_vectors, single.state.model._input_vectors
+        )
+        assert single.match(k=10).as_id_lists() == serial.match(k=10).as_id_lists()
+        assert serial.timings.note("num_workers") == "0"
+        assert single.timings.note("num_workers") == "1"
+        assert single.timings.note("walk_engine") == "csr-parallel"
+        assert single.timings.note("parallel_stages") == "walks,compression,word2vec"
+
+    def test_worker_count_invariant_at_fixed_shards(self, scenario):
+        one = self._fit(scenario, 1, num_shards=2)
+        two = self._fit(scenario, 2, num_shards=2)
+        assert np.array_equal(
+            one.state.model._input_vectors, two.state.model._input_vectors
+        )
+        assert one.match(k=10).as_id_lists() == two.match(k=10).as_id_lists()
+
+
+class TestCliNumWorkers:
+    def test_flag_parses_into_config(self):
+        args = cli.build_parser().parse_args(["--num-workers", "3"])
+        assert args.num_workers == 3
+
+    def test_cli_run_with_workers(self, capsys):
+        code = cli.main(
+            [
+                "--scenario", "imdb_wt", "--size", "tiny", "--k", "5",
+                "--num-walks", "4", "--walk-length", "8", "--vector-size", "32",
+                "--epochs", "1", "--num-workers", "2",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
