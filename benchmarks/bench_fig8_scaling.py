@@ -32,6 +32,7 @@ from repro.datasets import ScenarioSize, generate_scenario, generate_sts_scenari
 from repro.eval.report import format_table
 from repro.graph.builder import GraphBuilder, GraphBuilderConfig
 from repro.retrieval import BlockedTopK, DenseTopK
+from repro.utils.rng import ensure_rng
 
 from benchmarks.bench_utils import BENCH_SEED, SMOKE, write_bench_json, write_result
 
@@ -107,7 +108,7 @@ def _cluster_problem(n_queries, n_candidates, dim, n_clusters, seed=71):
     block is its cluster's candidates, a reduction ratio of
     ``1 - 1/n_clusters``.
     """
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     centers = rng.normal(size=(n_clusters, dim))
     q_cluster = rng.integers(n_clusters, size=n_queries)
     c_cluster = rng.integers(n_clusters, size=n_candidates)
@@ -222,12 +223,14 @@ def _graph_build_series():
     builds = {}
     for engine in ("reference", "bulk"):
         cold, _ = _best_of(
-            lambda: GraphBuilder(GraphBuilderConfig(engine=engine)).build(first, second),
+            lambda engine=engine: GraphBuilder(GraphBuilderConfig(engine=engine)).build(
+                first, second
+            ),
             repeats=3,
         )
         builder = GraphBuilder(GraphBuilderConfig(engine=engine))
         builder.build(first, second)  # warm the stemmer memo / interner
-        warm, built = _best_of(lambda: builder.build(first, second), repeats=3)
+        warm, built = _best_of(lambda builder=builder: builder.build(first, second), repeats=3)
         builds[engine] = built
         rows.append(
             {

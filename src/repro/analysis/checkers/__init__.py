@@ -1,0 +1,15 @@
+"""Built-in checkers; importing this package registers every rule."""
+
+from repro.analysis.checkers.engine_registry import EngineRegistryChecker
+from repro.analysis.checkers.rng import RngDisciplineChecker
+from repro.analysis.checkers.shm import ShmOwnershipChecker
+from repro.analysis.checkers.timers import TimerDisciplineChecker
+from repro.analysis.checkers.version_bump import VersionBumpChecker
+
+__all__ = [
+    "EngineRegistryChecker",
+    "RngDisciplineChecker",
+    "ShmOwnershipChecker",
+    "TimerDisciplineChecker",
+    "VersionBumpChecker",
+]

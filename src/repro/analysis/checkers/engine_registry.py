@@ -1,0 +1,225 @@
+"""engine-registry: every engine stage keeps a reference twin and a test.
+
+The repo's engine pattern (PRs 1-7) is: a fast engine ships **with** a
+``"reference"`` implementation behind the same config switch, and a parity
+test pins one against the other.  ``ENGINE_STAGES`` in the core config is
+the registry of those switches — ``{stage: (config section, field)}`` —
+and this rule makes the registry load-bearing.  For every stage it
+verifies, across files:
+
+1. the section resolves to a config dataclass (via the section field's
+   annotation or ``field(default_factory=...)``) that actually defines the
+   switch field;
+2. that config class accepts the engine name ``"reference"`` — the literal
+   must appear in the class body or in a module-level constant the class
+   references (e.g. an allowed-engines tuple), which is where the
+   ``__post_init__`` validators keep their accepted sets;
+3. at least one module under the test tree mentions the switch field, so a
+   new engine cannot ship without at least a parity test touching its
+   switch.
+
+Findings anchor at the stage's entry in the ``ENGINE_STAGES`` literal, so
+an inline suppression on that line can exempt a deliberately twin-less
+stage.  The rule is project-scoped: it runs once over the whole scan and
+stays silent when no ``ENGINE_STAGES`` definition is in scope.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.core import Checker, ModuleContext, ProjectContext
+from repro.analysis.registry import register
+
+REGISTRY_NAME = "ENGINE_STAGES"
+REFERENCE_ENGINE = "reference"
+
+
+class _ClassIndex:
+    """All class definitions of the scan, with their dataclass-ish fields."""
+
+    def __init__(self, modules: List[ModuleContext]):
+        #: class name -> (module, classdef). First definition wins.
+        self.classes: Dict[str, Tuple[ModuleContext, ast.ClassDef]] = {}
+        for ctx in modules:
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.ClassDef) and node.name not in self.classes:
+                    self.classes[node.name] = (ctx, node)
+
+    @staticmethod
+    def fields_of(cls_node: ast.ClassDef) -> Dict[str, Optional[str]]:
+        """Field name -> config-class name it is built from (when statable).
+
+        The class name comes from the annotation (``builder:
+        GraphBuilderConfig``) or from ``field(default_factory=X)``; plain
+        ``name = value`` class attributes count as fields with no class.
+        """
+        fields: Dict[str, Optional[str]] = {}
+        for stmt in cls_node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                fields[stmt.target.id] = _field_class_name(stmt)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        fields[target.id] = None
+        return fields
+
+    def string_constants_visible_from(self, class_name: str) -> Set[str]:
+        """String literals in the class body plus referenced module constants."""
+        entry = self.classes.get(class_name)
+        if entry is None:
+            return set()
+        ctx, cls_node = entry
+        constants: Set[str] = set()
+        referenced: Set[str] = set()
+        for node in ast.walk(cls_node):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                constants.add(node.value)
+            elif isinstance(node, ast.Name):
+                referenced.add(node.id)
+        # Module-level assignments the class body refers to (allowed-engine
+        # tuples like WALK_ENGINES live next to the class, not inside it).
+        for stmt in ctx.tree.body:
+            if not isinstance(stmt, ast.Assign):
+                continue
+            names = {t.id for t in stmt.targets if isinstance(t, ast.Name)}
+            if names & referenced:
+                for node in ast.walk(stmt.value):
+                    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                        constants.add(node.value)
+        return constants
+
+
+def _field_class_name(stmt: ast.AnnAssign) -> Optional[str]:
+    if (
+        isinstance(stmt.value, ast.Call)
+        and isinstance(stmt.value.func, ast.Name)
+        and stmt.value.func.id == "field"
+    ):
+        for keyword in stmt.value.keywords:
+            if keyword.arg == "default_factory" and isinstance(keyword.value, ast.Name):
+                return keyword.value.id
+    if isinstance(stmt.annotation, ast.Name):
+        return stmt.annotation.id
+    if isinstance(stmt.annotation, ast.Constant) and isinstance(stmt.annotation.value, str):
+        return stmt.annotation.value
+    return None
+
+
+def _registry_entries(
+    ctx: ModuleContext,
+) -> Optional[Tuple[Dict[str, Tuple[str, str, ast.AST]], ast.AST]]:
+    """Parse ``ENGINE_STAGES = {stage: (section, field), ...}`` if present."""
+    for stmt in ctx.tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if not any(isinstance(t, ast.Name) and t.id == REGISTRY_NAME for t in targets):
+            continue
+        if not isinstance(value, ast.Dict):
+            return None
+        entries: Dict[str, Tuple[str, str, ast.AST]] = {}
+        for key, item in zip(value.keys, value.values):
+            if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                continue
+            if (
+                isinstance(item, (ast.Tuple, ast.List))
+                and len(item.elts) == 2
+                and all(
+                    isinstance(e, ast.Constant) and isinstance(e.value, str)
+                    for e in item.elts
+                )
+            ):
+                section = item.elts[0].value
+                field_name = item.elts[1].value
+                entries[key.value] = (section, field_name, key)
+        return entries, stmt
+    return None
+
+
+@register
+class EngineRegistryChecker(Checker):
+    rule = "engine-registry"
+    description = (
+        "every ENGINE_STAGES stage resolves to a config field whose "
+        'validator accepts "reference" and is referenced by a test module'
+    )
+    scope = "project"
+
+    def check_project(self, project: ProjectContext):
+        self.findings = []
+        registry_ctx: Optional[ModuleContext] = None
+        entries: Dict[str, Tuple[str, str, ast.AST]] = {}
+        for ctx in project.modules:
+            parsed = _registry_entries(ctx)
+            if parsed is not None:
+                entries, _stmt = parsed
+                registry_ctx = ctx
+                break
+        if registry_ctx is None:
+            return self.findings
+
+        index = _ClassIndex(project.modules)
+        test_sources = project.test_sources()
+        for stage, (section, field_name, anchor) in sorted(entries.items()):
+            config_class = self._resolve_section_class(index, section)
+            if config_class is None:
+                self.report(
+                    anchor,
+                    f"stage {stage!r}: no config class found for section "
+                    f"{section!r} (is the section a field of the top-level "
+                    "config dataclass?)",
+                    ctx=registry_ctx,
+                )
+                continue
+            fields = index.fields_of(index.classes[config_class][1])
+            if field_name not in fields:
+                self.report(
+                    anchor,
+                    f"stage {stage!r}: config class {config_class} has no "
+                    f"field {field_name!r}",
+                    ctx=registry_ctx,
+                )
+                continue
+            if REFERENCE_ENGINE not in index.string_constants_visible_from(config_class):
+                self.report(
+                    anchor,
+                    f"stage {stage!r}: {config_class}.{field_name} does not "
+                    f'accept "{REFERENCE_ENGINE}" — every fast engine needs '
+                    "its reference twin behind the same switch",
+                    ctx=registry_ctx,
+                )
+            if test_sources and not self._referenced_in_tests(field_name, test_sources):
+                self.report(
+                    anchor,
+                    f"stage {stage!r}: no test module references the engine "
+                    f"switch {field_name!r} — a stage must ship with a parity "
+                    "test touching its switch",
+                    ctx=registry_ctx,
+                )
+        return self.findings
+
+    @staticmethod
+    def _resolve_section_class(index: _ClassIndex, section: str) -> Optional[str]:
+        """The config class the top-level section field is built from.
+
+        Scans every class for a field named ``section`` whose stated class
+        exists in the index; with several candidates (unlikely), the first
+        scanned definition wins.
+        """
+        for _name, (_ctx, cls_node) in index.classes.items():
+            fields = _ClassIndex.fields_of(cls_node)
+            stated = fields.get(section)
+            if stated is not None and stated in index.classes:
+                return stated
+        return None
+
+    @staticmethod
+    def _referenced_in_tests(field_name: str, test_sources: Dict) -> bool:
+        pattern = re.compile(rf"\b{re.escape(field_name)}\b")
+        return any(pattern.search(text) for text in test_sources.values())

@@ -1,0 +1,64 @@
+"""shm-ownership: only :class:`repro.parallel.shm.ShmArena` creates segments.
+
+The parallel fit's ``/dev/shm`` hygiene rests on a single-owner rule: the
+arena creates every segment, tracks it in ``_live``, and guarantees
+close+unlink on exit even when a shard raises; workers *attach* without
+resource-tracker registration so the parent stays the one authority.  A
+``SharedMemory(create=True)`` call anywhere else produces a segment no
+arena will ever unlink — a leak the teardown-hygiene tests cannot see
+because they only watch arena-created names.
+
+The rule flags every ``SharedMemory(...)`` call with a ``create`` keyword
+that is not the literal ``False`` (attaching by name is fine anywhere),
+in any module other than ``parallel/shm.py``.  A dynamic ``create=flag``
+argument is flagged too: ownership must be decidable statically.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Checker, ModuleContext, path_matches
+from repro.analysis.registry import register
+
+#: The single module allowed to create shared-memory segments.
+ALLOWED_SUFFIX = "parallel/shm.py"
+
+
+@register
+class ShmOwnershipChecker(Checker):
+    rule = "shm-ownership"
+    description = (
+        "SharedMemory(create=True) only inside parallel/shm.py "
+        "(ShmArena is the single segment owner)"
+    )
+
+    def check_module(self, ctx: ModuleContext):
+        if path_matches(ctx.path, ALLOWED_SUFFIX):
+            return []
+        return super().check_module(ctx)
+
+    @staticmethod
+    def _is_shared_memory(func: ast.AST) -> bool:
+        if isinstance(func, ast.Name):
+            return func.id == "SharedMemory"
+        if isinstance(func, ast.Attribute):
+            return func.attr == "SharedMemory"
+        return False
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._is_shared_memory(node.func):
+            for keyword in node.keywords:
+                if keyword.arg != "create":
+                    continue
+                value = keyword.value
+                if isinstance(value, ast.Constant) and value.value is False:
+                    continue
+                self.report(
+                    node,
+                    "SharedMemory segment created outside parallel/shm.py; "
+                    "allocate through ShmArena so the segment is "
+                    "close+unlink-guaranteed (and leak-testable)",
+                )
+                break
+        self.generic_visit(node)

@@ -1,0 +1,159 @@
+"""version-bump: ``MatchGraph`` mutators must move the CSR cache key.
+
+Every derived snapshot (the CSR adjacency behind the walk/compression
+engines, the primed serving cache) keys itself on ``MatchGraph._version``;
+a mutating method that forgets ``self._version += 1`` leaves stale
+snapshots looking valid, which surfaces as walks over deleted nodes or
+edges that never existed.  The rule inspects every method of a target
+class and flags those that mutate the topology stores (``_adjacency``,
+``_info``, ``_nodes``) without any ``_version`` write.
+
+Mutations are recognised through local aliases too — the bulk APIs bind
+``adjacency = self._adjacency`` (and element views such as
+``neighbors = adjacency[a]``) before mutating, so the checker propagates
+"watched" status through simple ``name = <watched expression>``
+assignments, subscripts of watched values, and mutating method calls
+(``add``/``discard``/``update``/...) on them.
+
+The check is intentionally presence-based, not path-sensitive: a method
+that bumps on *some* path passes.  That still catches the dominant failure
+mode — a brand-new mutator with no bump at all — without hard-wiring a
+CFG into the linter; conditional-bump correctness stays covered by the
+cache-invalidation unit tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Set, Tuple
+
+from repro.analysis.core import Checker
+from repro.analysis.registry import register
+
+#: Classes whose methods are held to the bump contract.
+TARGET_CLASSES: Tuple[str, ...] = ("MatchGraph",)
+
+#: Attributes that constitute graph topology.
+WATCHED_ATTRS: Tuple[str, ...] = ("_adjacency", "_info", "_nodes")
+
+#: The version counter that must accompany topology mutations.
+VERSION_ATTR = "_version"
+
+#: Method names that mutate containers in place.
+MUTATING_METHODS = frozenset(
+    {
+        "add",
+        "append",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
+
+
+def _self_attr(node: ast.AST, attrs: Tuple[str, ...]) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr in attrs
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+class _MethodScan(ast.NodeVisitor):
+    """Single pass over one method body: find mutations and version writes."""
+
+    def __init__(self) -> None:
+        self.watched_names: Set[str] = set()
+        self.mutates: bool = False
+        self.first_mutation: Optional[ast.AST] = None
+        self.bumps_version: bool = False
+
+    # -- watched-expression classification -----------------------------
+    def _is_watched(self, node: ast.AST) -> bool:
+        """True when ``node`` denotes (part of) a topology store."""
+        if _self_attr(node, WATCHED_ATTRS):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.watched_names
+        if isinstance(node, ast.Subscript):
+            return self._is_watched(node.value)
+        return False
+
+    def _mark_mutation(self, node: ast.AST) -> None:
+        self.mutates = True
+        if self.first_mutation is None:
+            self.first_mutation = node
+
+    # -- statements ----------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if _self_attr(target, (VERSION_ATTR,)):
+                self.bumps_version = True
+            elif _self_attr(target, WATCHED_ATTRS):
+                # Rebinding the store wholesale (e.g. ``self._adjacency = {}``)
+                # replaces topology just as surely as item writes.
+                self._mark_mutation(node)
+            elif isinstance(target, ast.Subscript) and self._is_watched(target.value):
+                self._mark_mutation(node)
+            elif isinstance(target, ast.Name) and self._is_watched(node.value):
+                # Alias: ``adjacency = self._adjacency`` / ``nbrs = adjacency[a]``.
+                self.watched_names.add(target.id)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if _self_attr(node.target, (VERSION_ATTR,)):
+            self.bumps_version = True
+        elif self._is_watched(node.target):
+            self._mark_mutation(node)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if self._is_watched(target):
+                self._mark_mutation(node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in MUTATING_METHODS
+            and self._is_watched(func.value)
+        ):
+            self._mark_mutation(node)
+        self.generic_visit(node)
+
+
+@register
+class VersionBumpChecker(Checker):
+    rule = "version-bump"
+    description = (
+        "MatchGraph methods mutating _adjacency/_info/_nodes must write "
+        "self._version (the CSR cache key)"
+    )
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if node.name not in TARGET_CLASSES:
+            self.generic_visit(node)
+            return
+        for item in node.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            scan = _MethodScan()
+            for stmt in item.body:
+                scan.visit(stmt)
+            if scan.mutates and not scan.bumps_version:
+                self.report(
+                    scan.first_mutation or item,
+                    f"{node.name}.{item.name} mutates graph topology without "
+                    f"writing self.{VERSION_ATTR}; stale CSR snapshots would "
+                    "pass cache validation",
+                )
+        # Nested classes inside methods are out of contract scope.

@@ -1,0 +1,102 @@
+"""Command-line front end: ``python -m repro.analysis``.
+
+Exit codes: 0 clean, 1 findings, 2 usage error (unknown rule id, missing
+path).  ``--json`` prints the versioned report of
+:mod:`repro.analysis.report` instead of the text lines, so CI can upload
+the output as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.registry import all_rules
+from repro.analysis.report import render_json, render_text
+from repro.analysis.runner import run_analysis
+
+
+def _split_rules(values: List[str]) -> List[str]:
+    rules: List[str] = []
+    for value in values:
+        rules.extend(part.strip() for part in value.split(",") if part.strip())
+    return rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repro-lint: enforce the repository's engine, RNG, "
+        "shared-memory, version-bump, and timer contracts.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to scan (default: src benchmarks, "
+        "falling back to the current directory)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit the versioned JSON report")
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--tests-dir",
+        default=None,
+        metavar="DIR",
+        help="test tree consulted by project-scoped rules "
+        "(default: ./tests when present)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    return parser
+
+
+def default_paths() -> List[str]:
+    preferred = [name for name in ("src", "benchmarks") if Path(name).is_dir()]
+    return preferred or ["."]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, cls in all_rules().items():
+            scope = "project" if cls.scope == "project" else "module"
+            print(f"{rule:28s} [{scope}] {cls.description}")
+        return 0
+
+    select = _split_rules(args.select) if args.select is not None else None
+    ignore = _split_rules(args.ignore) if args.ignore is not None else None
+    paths = args.paths or default_paths()
+    try:
+        result = run_analysis(
+            paths, select=select, ignore=ignore, tests_dir=args.tests_dir
+        )
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(render_json(result.findings, result.files_scanned))
+    else:
+        print(render_text(result.findings, result.files_scanned))
+    return 1 if result.findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,146 @@
+"""Core types of the static-analysis framework.
+
+A *checker* is an :class:`ast.NodeVisitor` subclass registered under a rule
+id (see :mod:`repro.analysis.registry`).  Module-scoped checkers visit one
+parsed file at a time; project-scoped checkers run once over the whole scan
+(:class:`ProjectContext`) so they can cross-reference files — the
+engine-registry rule needs the config module, every stage config class,
+*and* the test tree at once.
+
+Findings are plain frozen dataclasses; suppression
+(``# repro-lint: disable=<rule>``) is resolved at report time by
+:meth:`Checker.report`, so individual checkers never deal with comments.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.analysis.suppressions import line_suppressions
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class ModuleContext:
+    """One parsed source file plus its suppression map."""
+
+    def __init__(self, path: Path, source: str, tree: ast.Module, display_path: str):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        #: Path as printed in findings (relative to the scan root when possible).
+        self.display_path = display_path
+        #: line number -> set of suppressed rule ids ("all" silences every rule).
+        self.suppressed: Dict[int, Set[str]] = line_suppressions(source)
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        rules = self.suppressed.get(line)
+        if not rules:
+            return False
+        return "all" in rules or rule in rules
+
+    def posix_path(self) -> str:
+        return self.path.as_posix()
+
+
+class ProjectContext:
+    """The whole scan: every module plus the location of the test tree."""
+
+    def __init__(self, modules: Sequence[ModuleContext], tests_dir: Optional[Path] = None):
+        self.modules = list(modules)
+        self.tests_dir = tests_dir
+
+    def test_sources(self) -> Dict[Path, str]:
+        """Raw text of every python file under the test tree (may be empty)."""
+        sources: Dict[Path, str] = {}
+        if self.tests_dir is None or not self.tests_dir.is_dir():
+            return sources
+        for path in sorted(self.tests_dir.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            try:
+                sources[path] = path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError):
+                continue
+        return sources
+
+
+class Checker(ast.NodeVisitor):
+    """Base class of all rules.
+
+    Subclasses set ``rule`` (the id used in ``--select`` and suppression
+    comments), ``description`` (one line, shown by ``--list-rules``) and
+    ``scope`` ("module" or "project").  Module checkers implement the usual
+    ``visit_*`` methods and are driven by :meth:`check_module`; project
+    checkers override :meth:`check_project` instead.
+    """
+
+    rule: str = ""
+    description: str = ""
+    scope: str = "module"
+
+    def __init__(self) -> None:
+        self.findings: List[Finding] = []
+        self._ctx: Optional[ModuleContext] = None
+
+    # -- driving -------------------------------------------------------
+    def check_module(self, ctx: ModuleContext) -> List[Finding]:
+        self.findings = []
+        self._ctx = ctx
+        self.visit(ctx.tree)
+        self._ctx = None
+        return self.findings
+
+    def check_project(self, project: ProjectContext) -> List[Finding]:
+        raise NotImplementedError(f"{self.rule} is not a project-scoped rule")
+
+    # -- reporting -----------------------------------------------------
+    def report(self, node: ast.AST, message: str, ctx: Optional[ModuleContext] = None) -> None:
+        """Record a finding at ``node`` unless its line suppresses the rule."""
+        ctx = ctx or self._ctx
+        assert ctx is not None, "report() called outside a check"
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        if ctx.is_suppressed(line, self.rule):
+            return
+        self.findings.append(
+            Finding(
+                path=ctx.display_path,
+                line=line,
+                col=col + 1,
+                rule=self.rule,
+                message=message,
+            )
+        )
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Flatten ``a.b.c`` attribute chains to a dotted string (else None)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def path_matches(path: Path, suffix: str) -> bool:
+    """True when ``path`` ends with the ``/``-separated ``suffix``."""
+    return path.as_posix().endswith(suffix)

@@ -59,9 +59,10 @@ def _add_pipeline_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--walk-engine",
-        choices=["csr", "python"],
+        choices=["csr", "python", "reference"],
         default="csr",
-        help="walk implementation: vectorized CSR (default) or reference python stepping",
+        help="walk implementation: vectorized CSR (default) or reference python "
+        "stepping ('reference' is an alias for 'python')",
     )
     parser.add_argument(
         "--retrieval-backend",

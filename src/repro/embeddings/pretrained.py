@@ -28,7 +28,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.utils.rng import stable_hash
+from repro.utils.rng import ensure_rng, stable_hash
 
 
 def _unit(vector: np.ndarray) -> np.ndarray:
@@ -40,7 +40,7 @@ def _unit(vector: np.ndarray) -> np.ndarray:
 
 def _hash_vector(key: str, dim: int, scale: float = 1.0) -> np.ndarray:
     """A deterministic pseudo-random unit vector for ``key``."""
-    rng = np.random.default_rng(stable_hash(key, modulus=2**32))
+    rng = ensure_rng(stable_hash(key, modulus=2**32))
     return scale * _unit(rng.standard_normal(dim))
 
 

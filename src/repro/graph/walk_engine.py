@@ -199,21 +199,39 @@ def make_walk_engine(
     CSR engine to the sharded :class:`repro.parallel.walks.ParallelWalkEngine`
     when the parallel layer is enabled for the walk stage; the python
     engine ignores it.  The CSR engines fall back to the python engine when
-    the snapshot cannot be built (the failure is logged, never raised):
-    walk generation must succeed wherever the reference engine would.
+    the snapshot cannot be built — only for the failure classes snapshot
+    construction can legitimately hit (allocation failure, an id space
+    overflowing the int32 CSR indices, or the parallel layer being
+    unimportable), each logged as a warning through :mod:`repro.utils.logging`
+    before degrading.  Anything else (a caller bug such as an invalid
+    ``batch_size``, or an unexpected error) propagates: silently swapping
+    engines on an unknown failure would hide real defects behind a slower
+    but working fit.
     """
     config = config or RandomWalkConfig()
-    if config.walk_engine == "python":
+    if config.walk_engine in ("python", "reference"):
         return PythonWalkEngine(graph, config)
     try:
-        if parallel is not None and parallel.stage_enabled("walks"):
-            # Imported lazily: repro.parallel.walks imports this module.
-            from repro.parallel.walks import ParallelWalkEngine
-
-            return ParallelWalkEngine(graph, config, batch_size=batch_size, parallel=parallel)
-        return CSRWalkEngine(graph, config, batch_size=batch_size)
-    except Exception as exc:
+        # Build (or fetch) the snapshot first so only genuine snapshot
+        # failures trigger the fallback; the engine constructors below
+        # reuse the cached result, so this costs nothing extra.
+        csr_adjacency(graph)
+    except (MemoryError, OverflowError, ValueError) as exc:
         logger.warning(
-            "CSR walk engine unavailable (%s); falling back to the python engine", exc
+            "CSR snapshot unavailable (%s: %s); falling back to the python "
+            "walk engine",
+            type(exc).__name__,
+            exc,
         )
         return PythonWalkEngine(graph, config)
+    if parallel is not None and parallel.stage_enabled("walks"):
+        try:
+            # Imported lazily: repro.parallel.walks imports this module.
+            from repro.parallel.walks import ParallelWalkEngine
+        except ImportError as exc:
+            logger.warning(
+                "parallel walk engine unavailable (%s); using the serial CSR engine", exc
+            )
+        else:
+            return ParallelWalkEngine(graph, config, batch_size=batch_size, parallel=parallel)
+    return CSRWalkEngine(graph, config, batch_size=batch_size)

@@ -30,7 +30,10 @@ from typing import Iterator, List, Optional, Sequence
 from repro.graph.graph import MatchGraph
 from repro.utils.rng import ensure_rng
 
-WALK_ENGINES = ("python", "csr")
+#: "reference" is the unified-vocabulary alias for the python engine, so the
+#: walks stage accepts the same reference-twin spelling as every other stage
+#: in :data:`repro.core.config.ENGINE_STAGES`.
+WALK_ENGINES = ("python", "csr", "reference")
 
 
 @dataclass
@@ -47,9 +50,10 @@ class RandomWalkConfig:
         Optional restriction of the start nodes; ``None`` starts from every
         node as in the paper's default configuration.
     walk_engine:
-        ``"csr"`` (default) for the vectorised engine, ``"python"`` for the
-        reference step-at-a-time engine.  The CSR engine falls back to the
-        python engine automatically if the snapshot cannot be built.
+        ``"csr"`` (default) for the vectorised engine, ``"python"`` (alias
+        ``"reference"``) for the reference step-at-a-time engine.  The CSR
+        engine falls back to the python engine automatically if the
+        snapshot cannot be built.
     """
 
     num_walks: int = 100

@@ -13,7 +13,7 @@ RNG stream discipline
   covers every start node and iterates rounds/batches in the serial
   order).
 * Multi-shard plans derive one independent stream per shard via
-  ``np.random.SeedSequence(base).spawn`` — shard *i*'s draws depend only on
+  :func:`repro.utils.rng.spawn_rngs` — shard *i*'s draws depend only on
   ``(base, i)`` and its own slice, never on what other shards do, which is
   what makes the corpus deterministic per shard count and lets any worker
   count execute the same plan bit-identically (``num_workers=1`` runs the
@@ -34,7 +34,7 @@ from repro.graph.walk_engine import CSRWalkEngine, walk_batch_ids
 from repro.graph.walks import RandomWalkConfig, resolve_start_nodes
 from repro.parallel.config import ParallelConfig
 from repro.parallel.shm import ShmArena, SharedArray, WorkerPool, attached
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import ensure_rng, spawn_rngs
 
 
 def shard_ranges(n: int, num_shards: int) -> List[Tuple[int, int]]:
@@ -58,10 +58,7 @@ def shard_ranges(n: int, num_shards: int) -> List[Tuple[int, int]]:
 
 def shard_streams(base_seed: int, num_shards: int) -> List[np.random.Generator]:
     """One independent generator per shard from a spawned seed sequence."""
-    return [
-        np.random.default_rng(child)
-        for child in np.random.SeedSequence(int(base_seed)).spawn(num_shards)
-    ]
+    return spawn_rngs(base_seed, num_shards)
 
 
 def walk_shard(

@@ -1,6 +1,6 @@
 """Shared utilities: deterministic RNG helpers, timing, and logging."""
 
-from repro.utils.rng import RandomState, derive_rng, ensure_rng
+from repro.utils.rng import RandomState, derive_rng, ensure_rng, spawn_rngs, stable_hash
 from repro.utils.timing import Stopwatch, TimingRegistry, timed
 from repro.utils.logging import get_logger
 
@@ -8,6 +8,8 @@ __all__ = [
     "RandomState",
     "derive_rng",
     "ensure_rng",
+    "spawn_rngs",
+    "stable_hash",
     "Stopwatch",
     "TimingRegistry",
     "timed",

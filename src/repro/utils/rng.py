@@ -10,7 +10,7 @@ graph, walks, and embeddings.
 from __future__ import annotations
 
 import hashlib
-from typing import Optional, Union
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -56,6 +56,23 @@ def derive_rng(seed: SeedLike, *labels: str) -> np.random.Generator:
     digest = hashlib.sha256(("|".join(labels) + f"#{base}").encode("utf-8")).digest()
     child_seed = int.from_bytes(digest[:8], "little") % (2**63 - 1)
     return np.random.default_rng(child_seed)
+
+
+def spawn_rngs(base_seed: int, count: int) -> List[np.random.Generator]:
+    """``count`` independent generators spawned from one base seed.
+
+    The parallel fit gives each shard its own stream: spawning through
+    :class:`numpy.random.SeedSequence` guarantees stream *i* depends only
+    on ``(base_seed, i)`` — never on how many other shards exist or in
+    which order they run — which is what makes the sharded engines
+    deterministic at any worker count for a fixed shard plan.
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    return [
+        np.random.default_rng(child)
+        for child in np.random.SeedSequence(int(base_seed)).spawn(count)
+    ]
 
 
 def stable_hash(text: str, modulus: Optional[int] = None) -> int:

@@ -1,0 +1,5 @@
+"""Fixture: unparseable on purpose (parse-error reporting)."""
+
+
+def broken(:
+    pass

@@ -1,0 +1,17 @@
+"""Fixture project: the registry names a field the config doesn't have."""
+
+from dataclasses import dataclass, field
+
+ENGINE_STAGES = {
+    "walks": ("walks", "walk_engine"),
+}
+
+
+@dataclass
+class WalkStageConfig:
+    engine: str = "reference"
+
+
+@dataclass
+class TopConfig:
+    walks: WalkStageConfig = field(default_factory=WalkStageConfig)

@@ -1,0 +1,23 @@
+"""Fixture project: the stage's validator never accepts "reference"."""
+
+from dataclasses import dataclass, field
+
+ENGINE_STAGES = {
+    "walks": ("walks", "walk_engine"),
+}
+
+WALK_ENGINES = ("fast", "slow")
+
+
+@dataclass
+class WalkStageConfig:
+    walk_engine: str = "fast"
+
+    def __post_init__(self):
+        if self.walk_engine not in WALK_ENGINES:
+            raise ValueError("unknown engine")
+
+
+@dataclass
+class TopConfig:
+    walks: WalkStageConfig = field(default_factory=WalkStageConfig)

@@ -1,0 +1,5 @@
+"""A test tree that never touches the engine switch."""
+
+
+def check_something_else():
+    return 42

@@ -1,0 +1,7 @@
+"""Fixture: a file at parallel/shm.py may create segments."""
+
+from multiprocessing import shared_memory
+
+
+def create_segment(nbytes):
+    return shared_memory.SharedMemory(create=True, size=nbytes)

@@ -1,0 +1,30 @@
+"""Fixture: every way of minting randomness outside utils/rng."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def fresh_entropy():
+    return np.random.default_rng()
+
+
+def global_seed():
+    np.random.seed(7)
+
+
+def legacy_sampler():
+    return np.random.rand(3)
+
+
+def spawned_streams():
+    return np.random.SeedSequence(3).spawn(2)
+
+
+def stdlib_draw():
+    return random.random()
+
+
+def imported_factory():
+    return default_rng(5)

@@ -1,0 +1,18 @@
+"""Fixture: the sanctioned randomness spellings."""
+
+import numpy as np
+
+from repro.utils.rng import derive_rng, ensure_rng, spawn_rngs
+
+
+def seeded_draws(seed, rng: np.random.Generator = None):
+    rng = ensure_rng(seed)
+    child = derive_rng(seed, "stage")
+    streams = spawn_rngs(seed, 4)
+    return rng.integers(0, 10, size=3), child.normal(), streams
+
+
+def generator_typed(rng: np.random.Generator) -> np.ndarray:
+    if isinstance(rng, np.random.Generator):
+        return rng.random(2)
+    return np.zeros(2)

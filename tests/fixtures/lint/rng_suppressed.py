@@ -1,0 +1,15 @@
+"""Fixture: rng violations silenced (and not silenced) inline."""
+
+import numpy as np
+
+
+def silenced():
+    return np.random.default_rng()  # repro-lint: disable=rng-discipline
+
+
+def silenced_by_all():
+    return np.random.default_rng()  # repro-lint: disable=all
+
+
+def wrong_rule_still_flagged():
+    return np.random.default_rng()  # repro-lint: disable=timer-discipline

@@ -1,0 +1,17 @@
+"""Fixture: shared-memory creation outside the arena."""
+
+from multiprocessing import shared_memory
+from multiprocessing.shared_memory import SharedMemory
+
+
+def rogue_create():
+    return shared_memory.SharedMemory(create=True, size=64)
+
+
+def rogue_create_bare():
+    return SharedMemory(create=True, size=64)
+
+
+def rogue_dynamic(flag):
+    # Ownership must be statically decidable; a dynamic flag is flagged too.
+    return SharedMemory(create=flag, size=64)

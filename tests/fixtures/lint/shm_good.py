@@ -1,0 +1,11 @@
+"""Fixture: attaching to existing segments is fine anywhere."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def attach(name):
+    return SharedMemory(name=name)
+
+
+def attach_explicit(name):
+    return SharedMemory(name=name, create=False)

@@ -1,0 +1,7 @@
+"""Fixture: an out-of-arena segment creation, silenced inline."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def scratch_segment():
+    return SharedMemory(create=True, size=64)  # repro-lint: disable=shm-ownership

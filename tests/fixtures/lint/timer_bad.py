@@ -1,0 +1,16 @@
+"""Fixture: wall-clock timing in measurement code."""
+
+import time
+from time import time as now
+
+
+def measure(fn):
+    start = time.time()
+    fn()
+    return time.time() - start
+
+
+def measure_bare(fn):
+    start = now()
+    fn()
+    return now() - start

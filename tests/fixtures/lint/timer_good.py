@@ -1,0 +1,9 @@
+"""Fixture: monotonic timing."""
+
+import time
+
+
+def measure(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

@@ -1,0 +1,7 @@
+"""Fixture: a deliberate wall-clock read (timestamp), silenced inline."""
+
+import time
+
+
+def stamp():
+    return time.time()  # repro-lint: disable=timer-discipline

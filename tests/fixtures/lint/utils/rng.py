@@ -1,0 +1,7 @@
+"""Fixture: a file at utils/rng.py may mint generators freely."""
+
+import numpy as np
+
+
+def ensure_rng(seed=None):
+    return np.random.default_rng(seed)

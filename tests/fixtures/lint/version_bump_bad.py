@@ -1,0 +1,28 @@
+"""Fixture: MatchGraph mutators that forget the version bump."""
+
+
+class MatchGraph:
+    def __init__(self):
+        self._adjacency = {}
+        self._info = {}
+        self._version = 0
+
+    def add_node_forgets_bump(self, label):
+        self._info[label] = object()
+        self._adjacency[label] = set()
+
+    def add_edge_via_alias_forgets_bump(self, u, v):
+        adjacency = self._adjacency
+        neighbors = adjacency[u]
+        neighbors.add(v)
+        adjacency[v].add(u)
+
+    def remove_node_forgets_bump(self, label):
+        del self._adjacency[label]
+        del self._info[label]
+
+    def rebind_forgets_bump(self):
+        self._adjacency = {}
+
+    def read_only_is_fine(self, label):
+        return self._adjacency[label]

@@ -1,0 +1,39 @@
+"""Fixture: compliant MatchGraph plus an unrelated class out of scope."""
+
+
+class MatchGraph:
+    def __init__(self):
+        self._adjacency = {}
+        self._info = {}
+        self._version = 0
+
+    def add_node(self, label):
+        self._info[label] = object()
+        self._adjacency[label] = set()
+        self._version += 1
+
+    def add_edges_bulk(self, pairs):
+        adjacency = self._adjacency
+        added = 0
+        for u, v in pairs:
+            neighbors = adjacency[u]
+            neighbors.add(v)
+            added += 1
+        if added:
+            self._version += 1
+        return added
+
+    def degree(self, label):
+        return len(self._adjacency[label])
+
+    def merge_nodes(self, keep, absorb):
+        # Mutates only through bump-compliant methods: out of rule scope.
+        self.add_node(keep)
+
+
+class NotTheGraph:
+    def __init__(self):
+        self._adjacency = {}
+
+    def mutate_freely(self, label):
+        self._adjacency[label] = set()

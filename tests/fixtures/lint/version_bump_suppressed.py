@@ -1,0 +1,10 @@
+"""Fixture: a deliberate no-bump mutator, silenced inline."""
+
+
+class MatchGraph:
+    def __init__(self):
+        self._adjacency = {}
+        self._version = 0
+
+    def scratch_mutation(self, label):
+        self._adjacency[label] = set()  # repro-lint: disable=version-bump

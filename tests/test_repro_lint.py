@@ -1,0 +1,336 @@
+"""Tests for repro-lint (:mod:`repro.analysis`).
+
+Three layers:
+
+* fixture-driven unit tests per rule — each rule catches its target
+  violation in ``tests/fixtures/lint`` and stays quiet on the compliant
+  twin, and each respects inline ``# repro-lint: disable=<rule>`` markers;
+* framework behaviour — selection, suppression parsing, JSON schema
+  stability, parse-error reporting, CLI exit codes;
+* the meta-test: the real ``src/`` and ``benchmarks/`` trees are
+  violation-free, which is the contract CI enforces.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import all_rules, run_analysis
+from repro.analysis.registry import resolve_selection
+from repro.analysis.report import REPORT_SCHEMA_VERSION, render_json, render_text, report_dict
+from repro.analysis.suppressions import line_suppressions, parse_disable_comment
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint"
+
+EXPECTED_RULES = {
+    "engine-registry",
+    "rng-discipline",
+    "shm-ownership",
+    "timer-discipline",
+    "version-bump",
+}
+
+
+def lint(*paths, **kwargs):
+    kwargs.setdefault("root", str(REPO_ROOT))
+    return run_analysis([str(p) for p in paths], **kwargs)
+
+
+def rules_of(result):
+    return [f.rule for f in result.findings]
+
+
+# ----------------------------------------------------------------------
+# Registry and selection
+class TestRegistry:
+    def test_all_five_contract_rules_registered(self):
+        assert EXPECTED_RULES <= set(all_rules())
+
+    def test_rules_have_descriptions_and_scopes(self):
+        for rule, cls in all_rules().items():
+            assert cls.description, rule
+            assert cls.scope in ("module", "project")
+
+    def test_select_restricts(self):
+        result = lint(FIXTURES / "rng_bad.py", FIXTURES / "timer_bad.py",
+                      select=["timer-discipline"])
+        assert result.findings
+        assert set(rules_of(result)) == {"timer-discipline"}
+
+    def test_ignore_removes(self):
+        result = lint(FIXTURES / "rng_bad.py", ignore=["rng-discipline"])
+        assert result.ok
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            resolve_selection(select=["no-such-rule"])
+        with pytest.raises(ValueError, match="unknown rule"):
+            resolve_selection(ignore=["no-such-rule"])
+
+
+# ----------------------------------------------------------------------
+# rng-discipline
+class TestRngDiscipline:
+    def test_bad_fixture_flagged(self):
+        result = lint(FIXTURES / "rng_bad.py", select=["rng-discipline"])
+        assert len(result.findings) == 7
+        lines = {f.line for f in result.findings}
+        # stdlib import, numpy.random import, and every np.random.* call.
+        assert {3, 6, 10, 14, 18, 22, 26} == lines
+
+    def test_good_fixture_clean(self):
+        result = lint(FIXTURES / "rng_good.py", select=["rng-discipline"])
+        assert result.ok
+
+    def test_suppression(self):
+        result = lint(FIXTURES / "rng_suppressed.py", select=["rng-discipline"])
+        # Two silenced (rule-specific and disable=all); the marker naming a
+        # different rule does not silence this one.
+        assert len(result.findings) == 1
+        assert result.findings[0].line == 15
+
+    def test_utils_rng_exempt(self):
+        result = lint(FIXTURES / "utils" / "rng.py", select=["rng-discipline"])
+        assert result.ok
+
+    def test_generator_annotation_not_flagged(self):
+        result = lint(FIXTURES / "rng_good.py")
+        assert result.ok
+
+
+# ----------------------------------------------------------------------
+# version-bump
+class TestVersionBump:
+    def test_bad_fixture_flagged(self):
+        result = lint(FIXTURES / "version_bump_bad.py", select=["version-bump"])
+        messages = [f.message for f in result.findings]
+        assert len(result.findings) == 4
+        assert any("add_node_forgets_bump" in m for m in messages)
+        assert any("add_edge_via_alias_forgets_bump" in m for m in messages)
+        assert any("remove_node_forgets_bump" in m for m in messages)
+        assert any("rebind_forgets_bump" in m for m in messages)
+        # The read-only method is not flagged.
+        assert not any("read_only_is_fine" in m for m in messages)
+
+    def test_good_fixture_clean(self):
+        result = lint(FIXTURES / "version_bump_good.py", select=["version-bump"])
+        assert result.ok
+
+    def test_suppression(self):
+        result = lint(FIXTURES / "version_bump_suppressed.py", select=["version-bump"])
+        assert result.ok
+
+    def test_real_matchgraph_compliant(self):
+        result = lint(REPO_ROOT / "src" / "repro" / "graph" / "graph.py",
+                      select=["version-bump"])
+        assert result.ok
+
+
+# ----------------------------------------------------------------------
+# shm-ownership
+class TestShmOwnership:
+    def test_bad_fixture_flagged(self):
+        result = lint(FIXTURES / "shm_bad.py", select=["shm-ownership"])
+        assert len(result.findings) == 3
+
+    def test_good_fixture_clean(self):
+        result = lint(FIXTURES / "shm_good.py", select=["shm-ownership"])
+        assert result.ok
+
+    def test_suppression(self):
+        result = lint(FIXTURES / "shm_suppressed.py", select=["shm-ownership"])
+        assert result.ok
+
+    def test_parallel_shm_exempt(self):
+        result = lint(FIXTURES / "parallel" / "shm.py", select=["shm-ownership"])
+        assert result.ok
+
+
+# ----------------------------------------------------------------------
+# timer-discipline
+class TestTimerDiscipline:
+    def test_bad_fixture_flagged(self):
+        result = lint(FIXTURES / "timer_bad.py", select=["timer-discipline"])
+        # The from-import plus two time.time() and two bare now() calls.
+        assert len(result.findings) == 5
+
+    def test_good_fixture_clean(self):
+        result = lint(FIXTURES / "timer_good.py", select=["timer-discipline"])
+        assert result.ok
+
+    def test_suppression(self):
+        result = lint(FIXTURES / "timer_suppressed.py", select=["timer-discipline"])
+        assert result.ok
+
+
+# ----------------------------------------------------------------------
+# engine-registry
+class TestEngineRegistry:
+    def _lint_project(self, name):
+        base = FIXTURES / name
+        return lint(base / "src", select=["engine-registry"],
+                    tests_dir=str(base / "tests"))
+
+    def test_complete_stage_clean(self):
+        assert self._lint_project("engine_good").ok
+
+    def test_missing_reference_twin_flagged(self):
+        result = self._lint_project("engine_bad_no_reference")
+        assert len(result.findings) == 1
+        assert 'accept "reference"' in result.findings[0].message
+
+    def test_missing_field_flagged(self):
+        result = self._lint_project("engine_bad_missing_field")
+        assert len(result.findings) == 1
+        assert "no field 'walk_engine'" in result.findings[0].message
+
+    def test_missing_parity_test_flagged(self):
+        result = self._lint_project("engine_bad_no_test")
+        assert len(result.findings) == 1
+        assert "no test module references" in result.findings[0].message
+
+    def test_suppression_on_stage_entry(self):
+        assert self._lint_project("engine_suppressed").ok
+
+    def test_silent_without_registry(self):
+        result = lint(FIXTURES / "timer_good.py", select=["engine-registry"])
+        assert result.ok
+
+
+# ----------------------------------------------------------------------
+# Suppression parsing
+class TestSuppressions:
+    def test_parse_variants(self):
+        assert parse_disable_comment("# repro-lint: disable=rng-discipline") == {
+            "rng-discipline"
+        }
+        assert parse_disable_comment("#repro-lint: disable=a, b") == {"a", "b"}
+        assert parse_disable_comment("# repro-lint: disable=all") == {"all"}
+        assert parse_disable_comment("# unrelated comment") == set()
+
+    def test_marker_inside_string_is_not_a_suppression(self):
+        source = 's = "# repro-lint: disable=all"\n'
+        assert line_suppressions(source) == {}
+
+    def test_line_mapping(self):
+        source = "x = 1\ny = 2  # repro-lint: disable=timer-discipline\n"
+        assert line_suppressions(source) == {2: {"timer-discipline"}}
+
+
+# ----------------------------------------------------------------------
+# Reporting and schema stability
+class TestReporting:
+    def test_json_schema_stable(self):
+        result = lint(FIXTURES / "rng_bad.py")
+        payload = json.loads(render_json(result.findings, result.files_scanned))
+        assert payload["schema_version"] == REPORT_SCHEMA_VERSION == 1
+        assert payload["tool"] == "repro-lint"
+        assert set(payload) == {
+            "schema_version",
+            "tool",
+            "files_scanned",
+            "violations",
+            "counts_by_rule",
+            "findings",
+        }
+        assert payload["violations"] == len(payload["findings"])
+        assert payload["counts_by_rule"]["rng-discipline"] == payload["violations"]
+        for finding in payload["findings"]:
+            assert set(finding) == {"path", "line", "col", "rule", "message"}
+            assert isinstance(finding["line"], int) and finding["line"] >= 1
+            assert isinstance(finding["col"], int) and finding["col"] >= 1
+
+    def test_findings_sorted(self):
+        result = lint(FIXTURES / "timer_bad.py", FIXTURES / "rng_bad.py")
+        payload = report_dict(result.findings, result.files_scanned)
+        keys = [(f["path"], f["line"], f["col"]) for f in payload["findings"]]
+        assert keys == sorted(keys)
+
+    def test_text_summary(self):
+        result = lint(FIXTURES / "timer_good.py")
+        text = render_text(result.findings, result.files_scanned)
+        assert "0 violations" in text
+        result = lint(FIXTURES / "timer_bad.py")
+        text = render_text(result.findings, result.files_scanned)
+        assert "Found 5 violations" in text
+
+    def test_parse_error_reported(self):
+        result = lint(FIXTURES / "broken_syntax.py")
+        assert [f.rule for f in result.findings] == ["parse-error"]
+        assert result.broken_files
+
+
+# ----------------------------------------------------------------------
+# CLI behaviour (subprocess: exit codes are part of the contract)
+class TestCli:
+    def _run(self, *args):
+        env_path = str(REPO_ROOT / "src")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *args],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO_ROOT),
+            env={"PYTHONPATH": env_path, "PATH": "/usr/bin:/bin"},
+        )
+
+    def test_exit_zero_on_clean(self):
+        proc = self._run(str(FIXTURES / "timer_good.py"))
+        assert proc.returncode == 0, proc.stderr
+        assert "0 violations" in proc.stdout
+
+    def test_exit_one_on_findings(self):
+        proc = self._run(str(FIXTURES / "timer_bad.py"))
+        assert proc.returncode == 1
+        assert "timer-discipline" in proc.stdout
+
+    def test_exit_two_on_unknown_rule(self):
+        proc = self._run("--select", "bogus-rule", str(FIXTURES / "timer_good.py"))
+        assert proc.returncode == 2
+        assert "unknown rule" in proc.stderr
+
+    def test_exit_two_on_missing_path(self):
+        proc = self._run(str(FIXTURES / "does_not_exist"))
+        assert proc.returncode == 2
+
+    def test_json_flag(self):
+        proc = self._run("--json", str(FIXTURES / "shm_bad.py"))
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["schema_version"] == 1
+        assert payload["counts_by_rule"] == {"shm-ownership": 3}
+
+    def test_list_rules(self):
+        proc = self._run("--list-rules")
+        assert proc.returncode == 0
+        for rule in EXPECTED_RULES:
+            assert rule in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# The meta-test: the real tree is violation-free
+class TestRealTree:
+    def test_src_and_benchmarks_are_clean(self):
+        result = lint(
+            REPO_ROOT / "src",
+            REPO_ROOT / "benchmarks",
+            tests_dir=str(REPO_ROOT / "tests"),
+        )
+        assert result.ok, "\n".join(f.format() for f in result.findings)
+        assert result.files_scanned > 100
+
+    def test_engine_registry_sees_all_four_stages(self):
+        # Guard against the cross-file rule silently matching nothing: the
+        # real ENGINE_STAGES must resolve every stage (graph, walks,
+        # word2vec, compression) — break one on purpose and it must fire.
+        from repro.analysis.checkers.engine_registry import _registry_entries
+        from repro.analysis.runner import load_module
+
+        ctx = load_module(REPO_ROOT / "src" / "repro" / "core" / "config.py")
+        entries, _ = _registry_entries(ctx)
+        assert set(entries) == {"graph", "walks", "word2vec", "compression"}

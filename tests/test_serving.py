@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 
 from repro.core.config import ENGINE_STAGES, TDMatchConfig
-from repro.core.exceptions import PipelineError
+from repro.core.exceptions import NotFittedError, PipelineError
 from repro.core.pipeline import TDMatch
 from repro.corpus.documents import TextCorpus
 from repro.datasets import ScenarioSize, generate_scenario
@@ -146,7 +146,7 @@ class TestSaveLoadRoundtrip:
         assert sorted(restored.nodes()) == sorted(original.nodes())
 
     def test_save_unfitted_raises(self, tmp_path):
-        with pytest.raises(Exception):
+        with pytest.raises(NotFittedError):
             TDMatch(TDMatchConfig.fast()).save(str(tmp_path / "nope.tdm"))
 
     def test_config_roundtrips_through_index(self, index_path, fitted):
@@ -316,12 +316,12 @@ class TestEnginesAPI:
 
     def test_set_engines_rejects_unknown_stage(self):
         config = TDMatchConfig.fast()
-        with pytest.raises(Exception, match="stage"):
+        with pytest.raises(ValueError, match="stage"):
             config.set_engines({"walks2vec": "csr"})
 
     def test_set_engines_rejects_unknown_engine(self):
         config = TDMatchConfig.fast()
-        with pytest.raises(Exception):
+        with pytest.raises(ValueError, match="walk_engine"):
             config.set_engines({"walks": "quantum"})
 
     def test_engines_override_in_factory(self):

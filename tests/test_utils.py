@@ -7,7 +7,7 @@ import numpy as np
 import pytest
 
 from repro.utils.logging import enable_console_logging, get_logger
-from repro.utils.rng import derive_rng, ensure_rng, stable_hash
+from repro.utils.rng import derive_rng, ensure_rng, spawn_rngs, stable_hash
 from repro.utils.timing import Stopwatch, TimingRegistry, timed
 
 
@@ -40,6 +40,22 @@ class TestRng:
     def test_stable_hash_invalid_modulus(self):
         with pytest.raises(ValueError):
             stable_hash("x", 0)
+
+    def test_spawn_rngs_deterministic_per_index(self):
+        # Stream i depends only on (base_seed, i): prefixes of longer
+        # spawns reproduce shorter spawns draw-for-draw.
+        short = [rng.integers(0, 10**9) for rng in spawn_rngs(11, 2)]
+        long = [rng.integers(0, 10**9) for rng in spawn_rngs(11, 5)]
+        assert short == long[:2]
+
+    def test_spawn_rngs_streams_differ(self):
+        a, b = spawn_rngs(3, 2)
+        assert a.integers(0, 10**9, size=8).tolist() != b.integers(0, 10**9, size=8).tolist()
+
+    def test_spawn_rngs_count_validation(self):
+        assert spawn_rngs(1, 0) == []
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
 
 
 class TestTiming:

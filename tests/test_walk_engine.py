@@ -282,13 +282,59 @@ class TestEngineSelection:
         import repro.graph.walk_engine as walk_engine_module
 
         def broken_snapshot(graph):
-            raise RuntimeError("snapshot unavailable")
+            raise MemoryError("snapshot unavailable")
 
         monkeypatch.setattr(walk_engine_module, "csr_adjacency", broken_snapshot)
         engine = make_walk_engine(diamond_graph, RandomWalkConfig(walk_engine="csr"))
         assert isinstance(engine, PythonWalkEngine)
         walks = list(engine.iter_walks(seed=1))
         assert len(walks) == 100 * diamond_graph.num_nodes()
+
+    def test_fallback_logs_a_warning(self, diamond_graph, monkeypatch, caplog):
+        import logging
+
+        import repro.graph.walk_engine as walk_engine_module
+
+        def broken_snapshot(graph):
+            raise MemoryError("48 exabytes please")
+
+        monkeypatch.setattr(walk_engine_module, "csr_adjacency", broken_snapshot)
+        with caplog.at_level(logging.WARNING, logger="repro.graph.walk_engine"):
+            engine = make_walk_engine(diamond_graph, RandomWalkConfig(walk_engine="csr"))
+        assert isinstance(engine, PythonWalkEngine)
+        messages = [record.getMessage() for record in caplog.records]
+        assert any(
+            "falling back to the python walk engine" in message
+            and "MemoryError" in message
+            and "48 exabytes please" in message
+            for message in messages
+        ), messages
+
+    def test_unexpected_snapshot_error_propagates(self, diamond_graph, monkeypatch):
+        # The fallback is for failure classes snapshot construction can
+        # legitimately hit; an unknown error must not silently degrade the
+        # fit to the slow engine.
+        import repro.graph.walk_engine as walk_engine_module
+
+        def buggy_snapshot(graph):
+            raise RuntimeError("a bug, not a capacity limit")
+
+        monkeypatch.setattr(walk_engine_module, "csr_adjacency", buggy_snapshot)
+        with pytest.raises(RuntimeError, match="a bug"):
+            make_walk_engine(diamond_graph, RandomWalkConfig(walk_engine="csr"))
+
+    def test_invalid_batch_size_not_swallowed_by_fallback(self, diamond_graph):
+        # Caller errors (bad batch_size) propagate instead of selecting the
+        # python engine behind the caller's back.
+        with pytest.raises(ValueError, match="batch_size"):
+            make_walk_engine(
+                diamond_graph, RandomWalkConfig(walk_engine="csr"), batch_size=0
+            )
+
+    def test_reference_alias_selects_python_engine(self, diamond_graph):
+        # "reference" is the unified ENGINE_STAGES spelling of the twin.
+        engine = make_walk_engine(diamond_graph, RandomWalkConfig(walk_engine="reference"))
+        assert isinstance(engine, PythonWalkEngine)
 
     def test_iter_walks_dispatches_on_config(self, diamond_graph):
         config = RandomWalkConfig(num_walks=2, walk_length=3, walk_engine="csr")
