@@ -67,15 +67,25 @@ class _ClassIndex:
         return fields
 
     def string_constants_visible_from(self, class_name: str) -> Set[str]:
-        """String literals in the class body plus referenced module constants."""
+        """String literals in the class body plus referenced module constants.
+
+        Docstrings are excluded: the accepted-engines check must see the
+        literal in *code* (a validator's comparison tuple, a default, an
+        allowed-engines constant), not in prose that merely mentions it.
+        """
         entry = self.classes.get(class_name)
         if entry is None:
             return set()
         ctx, cls_node = entry
+        docstrings = _docstring_nodes(cls_node)
         constants: Set[str] = set()
         referenced: Set[str] = set()
         for node in ast.walk(cls_node):
-            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and id(node) not in docstrings
+            ):
                 constants.add(node.value)
             elif isinstance(node, ast.Name):
                 referenced.add(node.id)
@@ -90,6 +100,23 @@ class _ClassIndex:
                     if isinstance(node, ast.Constant) and isinstance(node.value, str):
                         constants.add(node.value)
         return constants
+
+
+def _docstring_nodes(cls_node: ast.ClassDef) -> Set[int]:
+    """``id()`` of every docstring Constant of the class and its defs."""
+    nodes: Set[int] = set()
+    for node in ast.walk(cls_node):
+        if not isinstance(node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        body = node.body
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            nodes.add(id(body[0].value))
+    return nodes
 
 
 def _field_class_name(stmt: ast.AnnAssign) -> Optional[str]:
@@ -167,7 +194,7 @@ class EngineRegistryChecker(Checker):
         index = _ClassIndex(project.modules)
         test_sources = project.test_sources()
         for stage, (section, field_name, anchor) in sorted(entries.items()):
-            config_class = self._resolve_section_class(index, section)
+            config_class = self._resolve_section_class(index, registry_ctx, section)
             if config_class is None:
                 self.report(
                     anchor,
@@ -205,14 +232,22 @@ class EngineRegistryChecker(Checker):
         return self.findings
 
     @staticmethod
-    def _resolve_section_class(index: _ClassIndex, section: str) -> Optional[str]:
+    def _resolve_section_class(
+        index: _ClassIndex, registry_ctx: ModuleContext, section: str
+    ) -> Optional[str]:
         """The config class the top-level section field is built from.
 
-        Scans every class for a field named ``section`` whose stated class
-        exists in the index; with several candidates (unlikely), the first
-        scanned definition wins.
+        Sections are resolved only against classes defined in the module
+        that holds ``ENGINE_STAGES`` — the top-level config dataclass lives
+        next to its registry.  Scanning the whole project instead would let
+        any unrelated class that happens to share the field name shadow the
+        real config (and pass/fail the rule against the wrong class).  The
+        field's *stated* class may still live in another module; it is
+        looked up through the project-wide index.
         """
-        for _name, (_ctx, cls_node) in index.classes.items():
+        for _name, (ctx, cls_node) in index.classes.items():
+            if ctx is not registry_ctx:
+                continue
             fields = _ClassIndex.fields_of(cls_node)
             stated = fields.get(section)
             if stated is not None and stated in index.classes:

@@ -8,15 +8,17 @@ resource-tracker registration so the parent stays the one authority.  A
 arena will ever unlink — a leak the teardown-hygiene tests cannot see
 because they only watch arena-created names.
 
-The rule flags every ``SharedMemory(...)`` call with a ``create`` keyword
-that is not the literal ``False`` (attaching by name is fine anywhere),
-in any module other than ``parallel/shm.py``.  A dynamic ``create=flag``
-argument is flagged too: ownership must be decidable statically.
+The rule flags every ``SharedMemory(...)`` call whose ``create`` argument
+— keyword or second positional (``SharedMemory(name, True)``) — is not
+the literal ``False`` (attaching by name is fine anywhere), in any module
+other than ``parallel/shm.py``.  A dynamic ``create=flag`` argument is
+flagged too: ownership must be decidable statically.
 """
 
 from __future__ import annotations
 
 import ast
+from typing import Optional
 
 from repro.analysis.core import Checker, ModuleContext, path_matches
 from repro.analysis.registry import register
@@ -48,17 +50,21 @@ class ShmOwnershipChecker(Checker):
 
     def visit_Call(self, node: ast.Call) -> None:
         if self._is_shared_memory(node.func):
+            # create is SharedMemory's second parameter: it arrives as the
+            # second positional argument or as a create= keyword.
+            create: Optional[ast.AST] = None
+            if len(node.args) >= 2:
+                create = node.args[1]
             for keyword in node.keywords:
-                if keyword.arg != "create":
-                    continue
-                value = keyword.value
-                if isinstance(value, ast.Constant) and value.value is False:
-                    continue
+                if keyword.arg == "create":
+                    create = keyword.value
+            if create is not None and not (
+                isinstance(create, ast.Constant) and create.value is False
+            ):
                 self.report(
                     node,
                     "SharedMemory segment created outside parallel/shm.py; "
                     "allocate through ShmArena so the segment is "
                     "close+unlink-guaranteed (and leak-testable)",
                 )
-                break
         self.generic_visit(node)

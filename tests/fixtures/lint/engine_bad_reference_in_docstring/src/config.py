@@ -1,0 +1,31 @@
+"""Fixture project: "reference" appears only in prose, never in code.
+
+The class docstring below mentions the reference engine, but the
+validator's accepted set is ``("fast", "slow")`` — the stage has no
+reference twin, and the docstring must not satisfy the check.
+"""
+
+from dataclasses import dataclass, field
+
+ENGINE_STAGES = {
+    "walks": ("walks", "walk_engine"),
+}
+
+WALK_ENGINES = ("fast", "slow")
+
+
+@dataclass
+class WalkStageConfig:
+    """Walk engine switch; a reference twin is planned but not wired."""
+
+    walk_engine: str = "fast"
+
+    def __post_init__(self):
+        """Reject anything that is not a known engine (not "reference")."""
+        if self.walk_engine not in WALK_ENGINES:
+            raise ValueError("unknown engine")
+
+
+@dataclass
+class TopConfig:
+    walks: WalkStageConfig = field(default_factory=WalkStageConfig)

@@ -1,0 +1,6 @@
+"""Pretend parity test: references the walk_engine switch."""
+
+
+def check_parity(config):
+    config.walk_engine = "fast"
+    return config

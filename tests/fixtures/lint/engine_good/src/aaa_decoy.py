@@ -1,0 +1,21 @@
+"""Decoy module: an unrelated class sharing the section's field name.
+
+``UnrelatedRuntime.walks`` states a class that exists in the index but has
+no ``walk_engine`` field.  The file sorts (and is scanned) before
+``config.py``, so a project-wide section scan would resolve the "walks"
+section here and report the real, compliant stage as broken.  The
+engine-registry rule must resolve sections only against the module that
+defines ``ENGINE_STAGES`` and leave this class alone.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WalkTelemetry:
+    steps_taken: int = 0
+
+
+@dataclass
+class UnrelatedRuntime:
+    walks: WalkTelemetry = field(default_factory=WalkTelemetry)

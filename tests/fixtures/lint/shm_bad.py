@@ -15,3 +15,9 @@ def rogue_create_bare():
 def rogue_dynamic(flag):
     # Ownership must be statically decidable; a dynamic flag is flagged too.
     return SharedMemory(create=flag, size=64)
+
+
+def rogue_positional():
+    # create is SharedMemory's second parameter; passing it positionally
+    # must not escape the rule.
+    return SharedMemory("segment", True, size=64)

@@ -9,3 +9,7 @@ def attach(name):
 
 def attach_explicit(name):
     return SharedMemory(name=name, create=False)
+
+
+def attach_positional(name):
+    return SharedMemory(name, False)
