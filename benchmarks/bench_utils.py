@@ -33,6 +33,7 @@ from repro.embeddings.doc2vec import Doc2VecConfig
 from repro.embeddings.pretrained import build_synthetic_pretrained
 from repro.eval.metrics import RankingReport, evaluate_rankings
 from repro.eval.report import format_table
+from repro.utils.io import atomic_write
 
 # ----------------------------------------------------------------------
 # Benchmark scale
@@ -51,7 +52,7 @@ def write_result(name: str, text: str) -> str:
     """Persist a result table under ``benchmarks/results`` and return its path."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
-    with open(path, "w", encoding="utf-8") as handle:
+    with atomic_write(path, "w", encoding="utf-8") as handle:
         handle.write(text + "\n")
     return path
 
@@ -80,7 +81,9 @@ def write_bench_json(name: str, payload: Dict[str, object]) -> str:
     payload.setdefault("smoke", SMOKE)
     payload.setdefault("num_workers", 0)
     path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
-    with open(path, "w", encoding="utf-8") as handle:
+    # Atomic so an interrupted bench run can't leave a truncated JSON for
+    # the CI artifact upload to ship.
+    with atomic_write(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return path

@@ -1,5 +1,6 @@
 """Built-in checkers; importing this package registers every rule."""
 
+from repro.analysis.checkers.atomic_write import AtomicWriteChecker
 from repro.analysis.checkers.engine_registry import EngineRegistryChecker
 from repro.analysis.checkers.rng import RngDisciplineChecker
 from repro.analysis.checkers.shm import ShmOwnershipChecker
@@ -7,6 +8,7 @@ from repro.analysis.checkers.timers import TimerDisciplineChecker
 from repro.analysis.checkers.version_bump import VersionBumpChecker
 
 __all__ = [
+    "AtomicWriteChecker",
     "EngineRegistryChecker",
     "RngDisciplineChecker",
     "ShmOwnershipChecker",

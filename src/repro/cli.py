@@ -32,6 +32,7 @@ from repro.core.pipeline import TDMatch
 from repro.datasets import SCENARIO_GENERATORS, ScenarioSize, generate_scenario
 from repro.eval.metrics import evaluate_rankings
 from repro.eval.report import format_quality_table, format_table
+from repro.parallel.reliability import ReliabilityConfig
 
 _SIZES = {
     "tiny": ScenarioSize.tiny,
@@ -111,6 +112,26 @@ def _add_pipeline_arguments(parser: argparse.ArgumentParser) -> None:
         help="worker processes sharding the fit's walk/compression/word2vec stages "
         "(0 = serial, the default; results are deterministic per shard count)",
     )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="seconds a pooled shard task may run before its workers are killed "
+        "and the round is retried (default: wait forever)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=1,
+        help="fresh-executor retries after a worker crash/timeout before the pool "
+        "degrades or gives up (default: 1)",
+    )
+    parser.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="fail the fit when retries are exhausted instead of degrading the "
+        "remaining shard tasks to inline serial execution",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -166,6 +187,13 @@ def build_query_parser() -> argparse.ArgumentParser:
         "--no-mmap", dest="mmap", action="store_false",
         help="load private writable copies of the embeddings",
     )
+    parser.add_argument(
+        "--verify",
+        choices=["none", "header", "full"],
+        default="header",
+        help="corruption check before serving: structural only, plus header "
+        "checksum (default), or a full CRC of every array blob",
+    )
     parser.add_argument("--json", action="store_true", help="emit a JSON report instead of tables")
     return parser
 
@@ -184,6 +212,11 @@ def _config_for(scenario, args: argparse.Namespace) -> TDMatchConfig:
     config.word2vec.epochs = args.epochs
     config.word2vec.trainer = args.w2v_trainer
     config.parallel.num_workers = args.num_workers
+    config.reliability = ReliabilityConfig(
+        task_timeout=args.task_timeout,
+        max_retries=args.max_retries,
+        degrade_serial=not args.no_degrade,
+    )
     backend = args.retrieval_backend
     if args.blocking and backend != "blocked":
         backend = "blocked"  # --blocking implies the blocked backend
@@ -315,7 +348,7 @@ def run_fit_save(args: argparse.Namespace) -> int:
 
 
 def run_query(args: argparse.Namespace) -> int:
-    pipeline = TDMatch.load(args.index, mmap=args.mmap)
+    pipeline = TDMatch.load(args.index, mmap=args.mmap, verify=args.verify)
     result = pipeline.match_result(k=args.k, query_side=args.query_side)
 
     if args.json:

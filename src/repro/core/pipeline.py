@@ -48,6 +48,7 @@ from repro.graph.compression import (
 from repro.graph.expansion import ExpansionResult, expand_graph
 from repro.graph.merging import EmbeddingMerger, NumericBucketer
 from repro.graph.walk_engine import make_walk_engine
+from repro.parallel.reliability import drain_events
 from repro.retrieval import BlockedTopK, DenseTopK, RetrievalStats
 from repro.retrieval.base import QueryBlocker, RetrievalBackend
 from repro.utils.logging import get_logger
@@ -130,6 +131,7 @@ class TDMatch:
         self._builder_config = None  # snapshot the builder was created from
         self._corpus_kinds: Optional[tuple] = None
         self._delta_count = 0  # incremental batches applied since fit/load
+        self._reliability_events: List = []  # supervision incidents absorbed so far
 
     # ------------------------------------------------------------------
     # Fitting
@@ -139,6 +141,10 @@ class TDMatch:
         self._validate_corpus(second, "second")
         self._corpus_kinds = (self._corpus_kind(first), self._corpus_kind(second))
         self._delta_count = 0
+        # Discard supervision incidents left over from other pipelines in
+        # this process; this fit's incidents are absorbed at the end.
+        drain_events()
+        self._reliability_events = []
 
         with self.timings.measure("graph_build"):
             built = self._graph_builder().build(first, second)
@@ -188,7 +194,31 @@ class TDMatch:
             expansion=expansion,
             compression=compression,
         )
+        self._absorb_reliability_events()
         return self
+
+    def _absorb_reliability_events(self) -> None:
+        """Fold collected worker-supervision incidents into the timing notes.
+
+        The pools record incidents (timeouts, crashes, retries,
+        degradations) into the module-level collector as they happen; this
+        drains it so ``report()`` / ``--json`` expose what went wrong and
+        how it was absorbed, per the reliability policy.
+        """
+        events = drain_events()
+        if not events:
+            return
+        self._reliability_events.extend(events)
+        all_events = self._reliability_events
+        failures = sum(1 for e in all_events if e.kind in ("crash", "timeout"))
+        retries = sum(1 for e in all_events if e.kind == "retry")
+        degraded = sum(1 for e in all_events if e.kind == "degraded")
+        self.timings.set_note("reliability_failures", str(failures))
+        self.timings.set_note("reliability_retries", str(retries))
+        self.timings.set_note("reliability_degraded", str(degraded))
+        self.timings.set_note(
+            "reliability_log", "; ".join(e.summary() for e in all_events)
+        )
 
     def _graph_builder(self) -> GraphBuilder:
         """The pipeline's graph builder, reused across :meth:`fit` calls.
@@ -428,16 +458,21 @@ class TDMatch:
         return save_pipeline(self, path)
 
     @classmethod
-    def load(cls, path: str, mmap: Optional[bool] = None) -> "TDMatch":
+    def load(cls, path: str, mmap: Optional[bool] = None, verify: str = "header") -> "TDMatch":
         """Restore a ready-to-serve pipeline from :meth:`save` output.
 
         ``mmap=None`` honours the ``serving.mmap`` flag stored in the
         index; ``True`` memory-maps the arrays (N processes share pages),
-        ``False`` loads private writable copies.
+        ``False`` loads private writable copies.  ``verify`` controls
+        corruption detection before serving: ``"header"`` (default) checks
+        the container structure and header checksum, ``"full"`` also CRCs
+        every array blob (raising
+        :class:`~repro.serving.index.IndexCorruptionError` naming the
+        first bad one), ``"none"`` keeps only the structural checks.
         """
         from repro.serving.index import load_pipeline
 
-        return load_pipeline(path, mmap=mmap)
+        return load_pipeline(path, mmap=mmap, verify=verify)
 
     # ------------------------------------------------------------------
     # Incremental fit
@@ -450,13 +485,19 @@ class TDMatch:
         """
         from repro.serving.incremental import add_documents
 
-        return add_documents(self, documents, side=side)
+        try:
+            return add_documents(self, documents, side=side)
+        finally:
+            self._absorb_reliability_events()
 
     def add_records(self, records, side: str = "second") -> List[str]:
         """Add table rows to a fitted pipeline without a full refit."""
         from repro.serving.incremental import add_records
 
-        return add_records(self, records, side=side)
+        try:
+            return add_records(self, records, side=side)
+        finally:
+            self._absorb_reliability_events()
 
     def remove(self, object_ids, side: str = "second") -> List[str]:
         """Remove objects and their metadata nodes from a fitted pipeline."""
@@ -475,6 +516,7 @@ class TDMatch:
         report: Dict[str, object] = {
             "engines": self.engines(),
             "timings": self.timings.to_dict(),
+            "reliability": [event.to_dict() for event in self._reliability_events],
         }
         if self._state is not None:
             built = self._state.built

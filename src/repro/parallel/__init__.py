@@ -10,6 +10,13 @@ contract.
 
 from repro.parallel.compression import parallel_grouped_dag_union
 from repro.parallel.config import PARALLEL_STAGES, ParallelConfig
+from repro.parallel.reliability import (
+    ReliabilityConfig,
+    ReliabilityEvent,
+    WorkerFailureError,
+    drain_events,
+    record_event,
+)
 from repro.parallel.shm import SharedArray, ShmArena, WorkerPool, attached
 from repro.parallel.trainer import EpochShardTrainer
 from repro.parallel.walks import ParallelWalkEngine, shard_ranges, shard_streams
@@ -17,10 +24,15 @@ from repro.parallel.walks import ParallelWalkEngine, shard_ranges, shard_streams
 __all__ = [
     "PARALLEL_STAGES",
     "ParallelConfig",
+    "ReliabilityConfig",
+    "ReliabilityEvent",
     "SharedArray",
     "ShmArena",
+    "WorkerFailureError",
     "WorkerPool",
     "attached",
+    "drain_events",
+    "record_event",
     "EpochShardTrainer",
     "ParallelWalkEngine",
     "parallel_grouped_dag_union",

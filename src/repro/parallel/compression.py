@@ -98,7 +98,7 @@ def parallel_grouped_dag_union(
             for shard_sources, targets_list in chunks
         ]
     else:
-        with ShmArena() as arena, WorkerPool(parallel) as pool:
+        with ShmArena() as arena, WorkerPool(parallel, label="compression") as pool:
             indptr_d = arena.share(csr.indptr)
             indices_d = arena.share(csr.indices)
             results = pool.run(

@@ -22,8 +22,10 @@ Results are deterministic *per shard count*, not across shard counts:
 from __future__ import annotations
 
 import multiprocessing
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Tuple
+
+from repro.parallel.reliability import ReliabilityConfig
 
 #: The fit stages the parallel layer can shard.
 PARALLEL_STAGES: Tuple[str, ...] = ("walks", "compression", "word2vec")
@@ -53,6 +55,11 @@ class ParallelConfig:
         available (Linux) and falls back to ``spawn`` (macOS/Windows).
         Workers attach shared-memory segments by name, so both methods
         produce identical results; ``fork`` merely starts faster.
+    reliability:
+        Supervision policy for the worker pools: per-task timeout, retry
+        budget/backoff after worker loss, and whether exhausted retries
+        degrade to inline serial execution (bit-identical by the
+        determinism contract above) instead of aborting the fit.
     """
 
     num_workers: int = 0
@@ -61,6 +68,7 @@ class ParallelConfig:
     shard_compression: bool = True
     shard_word2vec: bool = True
     mp_context: Optional[str] = None
+    reliability: ReliabilityConfig = field(default_factory=ReliabilityConfig)
 
     def __post_init__(self) -> None:
         if self.num_workers < 0:

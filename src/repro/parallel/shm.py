@@ -18,7 +18,10 @@ context so workers finish (or die) before segments are unlinked.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import os
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from contextlib import contextmanager
 from dataclasses import dataclass
 from multiprocessing import get_context, shared_memory
@@ -27,9 +30,37 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.parallel.config import ParallelConfig
+from repro.parallel.reliability import (
+    ReliabilityEvent,
+    WorkerFailureError,
+    record_event,
+)
 from repro.utils.logging import get_logger
 
 logger = get_logger(__name__)
+
+#: Mirrors repro.testing.faults.FAULT_PLAN_ENV without importing the test
+#: harness on the hot path: injection code loads only when the env is set.
+_FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Sentinel marking a task slot whose result has not been produced yet.
+_PENDING = object()
+
+
+def _supervised_call(fn, index: int, args: tuple):
+    """Worker-side task wrapper: the fault-injection seam.
+
+    Runs in the worker process.  When a fault plan is active in the
+    environment (test harness only), :func:`repro.testing.faults.maybe_inject`
+    may crash, hang, or fail this call deterministically; otherwise this is
+    a plain ``fn(*args)``.  Inline and degraded-serial execution call ``fn``
+    directly and therefore bypass injection — degradation always succeeds.
+    """
+    if os.environ.get(_FAULT_PLAN_ENV):
+        from repro.testing.faults import maybe_inject
+
+        maybe_inject(index)
+    return fn(*args)
 
 
 @dataclass(frozen=True)
@@ -168,10 +199,23 @@ def attached(*descs: SharedArray):
 
 
 class WorkerPool:
-    """Task fan-out behind the ``ParallelConfig.num_workers`` switch."""
+    """Supervised task fan-out behind the ``ParallelConfig.num_workers`` switch.
 
-    def __init__(self, config: ParallelConfig):
+    Beyond plain fan-out, :meth:`run` enforces the pool's
+    :class:`~repro.parallel.reliability.ReliabilityConfig`: hung tasks are
+    timed out (workers killed), crashed workers (``BrokenProcessPool``) are
+    detected, the failed round is retried on a fresh executor with
+    exponential backoff, and — once retries are exhausted — the remaining
+    tasks degrade to inline serial execution, which is bit-identical to the
+    pooled result because shard outputs are fixed by the shard plan and
+    per-shard RNG streams, never by which process ran them.  Every incident
+    is recorded through :func:`repro.parallel.reliability.record_event` for
+    the pipeline to surface in ``report()``.
+    """
+
+    def __init__(self, config: ParallelConfig, label: str = "pool"):
         self.config = config
+        self.label = label
         self._executor: Optional[ProcessPoolExecutor] = None
 
     @property
@@ -189,28 +233,137 @@ class WorkerPool:
             self._executor.shutdown(wait=True)
             self._executor = None
 
+    def _kill_executor(self) -> None:
+        """Tear the executor down without waiting on hung or dead workers."""
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        # Killing first matters for the timeout path: a hung worker never
+        # drains the call queue, so a waiting shutdown would hang with it.
+        processes = getattr(executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - already-dead race
+                pass
+        executor.shutdown(wait=False, cancel_futures=True)
+
+    @staticmethod
+    def _harvest(futures: Dict[int, object], results: List[object]) -> None:
+        """Keep results of tasks that finished cleanly before the round broke."""
+        for index, future in futures.items():
+            if results[index] is not _PENDING or not future.done() or future.cancelled():
+                continue
+            if future.exception() is None:
+                results[index] = future.result()
+
     def run(self, fn, tasks: Sequence[tuple]) -> List[object]:
         """Run ``fn(*task)`` for every task, returning results in order.
 
         Inline mode (and a single task) runs in the parent — the same code
         path the workers execute, which is what makes ``num_workers=1`` the
-        bit-exact baseline of any worker count at a fixed shard plan.  On a
-        worker failure the first exception propagates after the remaining
-        futures are cancelled, leaving segment cleanup to the enclosing
-        arena.
+        bit-exact baseline of any worker count at a fixed shard plan.
+
+        A task *exception* (``fn`` raised) is deterministic and propagates
+        immediately — the executor is shut down with ``cancel_futures=True``
+        so slow sibling tasks cannot delay the error.  Worker *loss* (crash
+        or timeout) is absorbed per the reliability policy: completed
+        results are harvested, the round is retried on a fresh executor,
+        and exhausted retries degrade to inline execution or raise
+        :class:`~repro.parallel.reliability.WorkerFailureError`.
         """
         tasks = list(tasks)
         if self.inline or len(tasks) <= 1:
             return [fn(*args) for args in tasks]
-        if self._executor is None:
-            self._executor = ProcessPoolExecutor(
-                max_workers=min(self.config.num_workers, len(tasks)),
-                mp_context=get_context(self.config.start_method()),
+        reliability = self.config.reliability
+        results: List[object] = [_PENDING] * len(tasks)
+        pending = list(range(len(tasks)))
+        attempt = 0
+        while pending:
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=min(self.config.num_workers, len(pending)),
+                    mp_context=get_context(self.config.start_method()),
+                )
+            futures = {
+                index: self._executor.submit(_supervised_call, fn, index, tasks[index])
+                for index in pending
+            }
+            failure: Optional[ReliabilityEvent] = None
+            current = pending[0]
+            try:
+                for current in pending:
+                    results[current] = futures[current].result(
+                        timeout=reliability.task_timeout
+                    )
+            except FuturesTimeoutError:
+                failure = ReliabilityEvent(
+                    "timeout",
+                    self.label,
+                    current,
+                    attempt,
+                    f"no result within {reliability.task_timeout}s; workers killed",
+                )
+                self._harvest(futures, results)
+                self._kill_executor()
+            except BrokenExecutor as exc:
+                failure = ReliabilityEvent(
+                    "crash",
+                    self.label,
+                    current,
+                    attempt,
+                    f"worker died ({type(exc).__name__})",
+                )
+                self._harvest(futures, results)
+                self._kill_executor()
+            except BaseException:
+                # Deterministic task error: propagate promptly.  The old
+                # future.cancel() loop was a no-op for running futures and
+                # still waited on stragglers at shutdown.
+                self._kill_executor()
+                raise
+            if failure is None:
+                break
+            record_event(failure)
+            logger.warning("worker pool %s: %s", self.label, failure.summary())
+            pending = [i for i in range(len(tasks)) if results[i] is _PENDING]
+            if attempt >= reliability.max_retries:
+                if not reliability.degrade_serial:
+                    raise WorkerFailureError(
+                        f"pool {self.label!r}: {len(pending)} task(s) still failing "
+                        f"after {attempt + 1} attempt(s) ({failure.summary()}) and "
+                        "serial degradation is disabled"
+                    )
+                record_event(
+                    ReliabilityEvent(
+                        "degraded",
+                        self.label,
+                        -1,
+                        attempt,
+                        f"{len(pending)} task(s) rerun inline after "
+                        f"{attempt + 1} failed attempt(s)",
+                    )
+                )
+                logger.warning(
+                    "worker pool %s: degrading %d task(s) to inline serial execution",
+                    self.label,
+                    len(pending),
+                )
+                for index in pending:
+                    results[index] = fn(*tasks[index])
+                pending = []
+                break
+            attempt += 1
+            record_event(
+                ReliabilityEvent(
+                    "retry",
+                    self.label,
+                    -1,
+                    attempt,
+                    f"{len(pending)} task(s) resubmitted on a fresh executor",
+                )
             )
-        futures = [self._executor.submit(fn, *args) for args in tasks]
-        try:
-            return [future.result() for future in futures]
-        except BaseException:
-            for future in futures:
-                future.cancel()
-            raise
+            backoff = reliability.retry_backoff * (2 ** (attempt - 1))
+            if backoff > 0:
+                time.sleep(backoff)
+        return results

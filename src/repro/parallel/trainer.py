@@ -112,7 +112,7 @@ class EpochShardTrainer:
 
     def __init__(self, config: ParallelConfig):
         self.config = config
-        self._pool: WorkerPool = WorkerPool(config)
+        self._pool: WorkerPool = WorkerPool(config, label="word2vec")
 
     def __enter__(self) -> "EpochShardTrainer":
         return self

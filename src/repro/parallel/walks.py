@@ -203,7 +203,7 @@ class ParallelWalkEngine(CSRWalkEngine):
                     )
             return walks, lengths
 
-        with ShmArena() as arena, WorkerPool(self.parallel) as pool:
+        with ShmArena() as arena, WorkerPool(self.parallel, label="walks") as pool:
             indptr_d = arena.share(csr.indptr)
             indices_d = arena.share(csr.indices)
             starts_d = arena.share(np.ascontiguousarray(start_ids))

@@ -13,8 +13,12 @@ from repro.serving.incremental import add_documents, add_records, remove
 from repro.serving.index import (
     INDEX_FORMAT_VERSION,
     INDEX_MAGIC,
+    SUPPORTED_VERSIONS,
+    VERIFY_MODES,
+    IndexCorruptionError,
     IndexFormatError,
     LazyBuiltGraph,
+    blob_ranges,
     load_pipeline,
     read_index,
     save_pipeline,
@@ -24,10 +28,14 @@ from repro.serving.index import (
 __all__ = [
     "INDEX_FORMAT_VERSION",
     "INDEX_MAGIC",
+    "SUPPORTED_VERSIONS",
+    "VERIFY_MODES",
+    "IndexCorruptionError",
     "IndexFormatError",
     "LazyBuiltGraph",
     "add_documents",
     "add_records",
+    "blob_ranges",
     "load_pipeline",
     "read_index",
     "remove",

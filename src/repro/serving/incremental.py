@@ -235,7 +235,20 @@ def _apply_delta(pipeline, side, objects) -> List[str]:
                                  np.array(edges_v, dtype=object))
 
     pipeline._delta_count += 1
-    _refresh_embeddings(pipeline, new_labels)
+    try:
+        _refresh_embeddings(pipeline, new_labels)
+    except BaseException:
+        # Roll the splice back: a failed refresh (e.g. an index saved
+        # without output vectors) must not leave graph nodes and metadata
+        # mappings behind that have no embedding rows — a retried delta or
+        # a subsequent match() would see a half-applied batch.
+        for label in node_labels:
+            if label in graph:
+                graph.remove_node(label)
+        for object_id, _terms, _per_column in objects:
+            mapping.pop(str(object_id), None)
+        pipeline._delta_count -= 1
+        raise
     pipeline.timings.set_note("incremental_deltas", str(pipeline._delta_count))
     return new_labels
 

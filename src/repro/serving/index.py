@@ -6,14 +6,32 @@ the metadata id ↔ label maps, and a config snapshot — into one file, and
 :func:`load_pipeline` restores a ready-to-serve pipeline from it at zero
 fit cost.
 
-File layout::
+File layout (format version 2)::
 
     bytes 0-7    magic  b"TDMIDX\\x00\\x00"
     bytes 8-11   format version (uint32, little endian)
     bytes 12-19  header length H (uint64, little endian)
-    bytes 20-..  JSON header (utf-8): config snapshot, vocabulary,
+    bytes 20-23  CRC32 of the JSON header (uint32, little endian)
+    bytes 24-..  JSON header (utf-8): config snapshot, vocabulary,
                  metadata maps, graph node registry, array directory
+                 (each directory entry carries the blob's CRC32)
     then         raw array blobs, each aligned to a 64-byte boundary
+
+Version 1 files (no header CRC, no per-blob CRCs) remain readable; their
+verification degrades to the structural checks.
+
+Durability: :func:`write_index` routes through
+:func:`repro.utils.io.atomic_write` — temp file in the index's directory,
+fsync, ``os.replace`` — so a crash mid-save leaves the previous index
+intact instead of a torn file.  :func:`read_index` validates the container
+structurally (truncation, header length past EOF, blob extents, overlaps)
+and, per the ``verify`` mode, against the stored checksums:
+
+* ``"none"``   — structural checks only;
+* ``"header"`` — also check the header CRC (default: cheap, catches
+  truncation and header bit-rot without touching blob bytes);
+* ``"full"``   — also CRC every array blob, raising
+  :class:`IndexCorruptionError` that names the first bad blob.
 
 The arrays are written as contiguous raw bytes with their offsets recorded
 in the header, which is what makes the file *memory-mappable*: with
@@ -32,7 +50,9 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import struct
+import zlib
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -44,17 +64,34 @@ from repro.graph.builder import BuiltGraph
 from repro.graph.csr import CSRAdjacency, csr_adjacency, prime_csr_cache
 from repro.graph.filtering import FilterStatistics
 from repro.graph.graph import MatchGraph, NodeKind
+from repro.utils.io import atomic_write
 from repro.utils.rng import derive_rng
 
 INDEX_MAGIC = b"TDMIDX\x00\x00"
-INDEX_FORMAT_VERSION = 1
+INDEX_FORMAT_VERSION = 2
+#: Format versions read_index can restore (v1: no checksums).
+SUPPORTED_VERSIONS = (1, 2)
+#: read_index / load_pipeline verification modes.
+VERIFY_MODES = ("none", "header", "full")
 
 _PREAMBLE = struct.Struct("<8sIQ")  # magic, format version, header length
+_HEADER_CRC = struct.Struct("<I")  # v2 only: CRC32 of the JSON header
 _ALIGNMENT = 64
+_CRC_CHUNK = 4 * 1024 * 1024  # full-verify reads blobs in bounded chunks
 
 
 class IndexFormatError(PipelineError):
     """The file is not a TDmatch index, or its format version is unsupported."""
+
+
+class IndexCorruptionError(IndexFormatError):
+    """The index container is structurally valid-looking but damaged.
+
+    Raised for truncated headers/blobs, directory extents outside the
+    file, overlapping blobs, and checksum mismatches — naming the first
+    bad blob so operators know whether the graph or an embedding matrix
+    rotted.
+    """
 
 
 def _align(offset: int) -> int:
@@ -64,73 +101,216 @@ def _align(offset: int) -> int:
 # ----------------------------------------------------------------------
 # Raw container
 def write_index(path: str, header: Dict[str, object], arrays: Dict[str, np.ndarray]) -> str:
-    """Write a header + named-array container to ``path``.
+    """Write a header + named-array container to ``path`` atomically.
 
-    Array blobs land on 64-byte boundaries; their dtype/shape/offset
+    Array blobs land on 64-byte boundaries; their dtype/shape/offset/CRC32
     directory is embedded in the JSON header (offsets relative to the
     64-aligned start of the data section, so the directory does not depend
-    on its own encoded size).
+    on its own encoded size).  The bytes stream into a same-directory temp
+    file that is fsynced and ``os.replace``d into ``path``, so a crash at
+    any byte boundary leaves a previously existing index untouched.
     """
     directory: Dict[str, Dict[str, object]] = {}
     blobs = []
     rel = 0
     for name, arr in arrays.items():
         arr = np.ascontiguousarray(arr)
+        data = arr.tobytes()
         rel = _align(rel)
         directory[name] = {
             "dtype": str(arr.dtype),
             "shape": list(arr.shape),
             "offset": rel,
+            "crc32": zlib.crc32(data),
         }
-        blobs.append((rel, arr))
-        rel += arr.nbytes
+        blobs.append((rel, data))
+        rel += len(data)
     full_header = dict(header)
     full_header["arrays"] = directory
     payload = json.dumps(full_header, separators=(",", ":")).encode("utf-8")
     preamble = _PREAMBLE.pack(INDEX_MAGIC, INDEX_FORMAT_VERSION, len(payload))
+    preamble += _HEADER_CRC.pack(zlib.crc32(payload))
     data_start = _align(len(preamble) + len(payload))
-    with open(path, "wb") as handle:
+    with atomic_write(path) as handle:
         handle.write(preamble)
         handle.write(payload)
         handle.write(b"\x00" * (data_start - len(preamble) - len(payload)))
         position = 0
-        for rel, arr in blobs:
+        for rel, data in blobs:
             if rel > position:
                 handle.write(b"\x00" * (rel - position))
                 position = rel
-            handle.write(arr.tobytes())
-            position += arr.nbytes
+            handle.write(data)
+            position += len(data)
     return path
 
 
+def _entry_nbytes(dtype: np.dtype, shape: Tuple[int, ...]) -> int:
+    count = 1
+    for dim in shape:
+        count *= dim
+    return count * dtype.itemsize
+
+
+def _parse_header(handle, path: str, file_size: int, verify: str):
+    """Validate the preamble + JSON header; returns (version, header, data_start).
+
+    Every malformed-container path raises :class:`IndexFormatError` /
+    :class:`IndexCorruptionError` — never a raw ``struct``/``json``/numpy
+    error — so hostile or rotten files fail with an actionable message.
+    """
+    preamble = handle.read(_PREAMBLE.size)
+    if len(preamble) < _PREAMBLE.size:
+        raise IndexFormatError(
+            f"{path!r} is not a TDmatch index (file truncated inside the preamble)"
+        )
+    if preamble[:8] != INDEX_MAGIC:
+        raise IndexFormatError(f"{path!r} is not a TDmatch index (bad magic)")
+    _magic, version, header_len = _PREAMBLE.unpack(preamble)
+    if version not in SUPPORTED_VERSIONS:
+        raise IndexFormatError(
+            f"index {path!r} has format version {version}, but this build "
+            f"reads versions {list(SUPPORTED_VERSIONS)}; re-create the index "
+            "with TDMatch.save() from a matching version"
+        )
+    header_start = _PREAMBLE.size
+    header_crc = None
+    if version >= 2:
+        crc_bytes = handle.read(_HEADER_CRC.size)
+        if len(crc_bytes) < _HEADER_CRC.size:
+            raise IndexCorruptionError(
+                f"index {path!r} is truncated inside the header checksum"
+            )
+        (header_crc,) = _HEADER_CRC.unpack(crc_bytes)
+        header_start += _HEADER_CRC.size
+    if header_start + header_len > file_size:
+        raise IndexCorruptionError(
+            f"index {path!r} declares a {header_len}-byte header but the file "
+            f"holds only {file_size - header_start} bytes after the preamble "
+            "(truncated or hostile header length)"
+        )
+    payload = handle.read(header_len)
+    if len(payload) < header_len:
+        raise IndexCorruptionError(f"index {path!r} is truncated inside the header")
+    if header_crc is not None and verify != "none" and zlib.crc32(payload) != header_crc:
+        raise IndexCorruptionError(
+            f"index {path!r} header checksum mismatch (bit rot or torn write); "
+            "re-create the index with TDMatch.save()"
+        )
+    try:
+        header = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise IndexFormatError(f"index {path!r} header is not valid JSON: {exc}") from exc
+    if not isinstance(header, dict) or not isinstance(header.get("arrays"), dict):
+        raise IndexFormatError(f"index {path!r} header lacks an array directory")
+    return version, header, _align(header_start + header_len)
+
+
+def _validated_directory(
+    header: Dict[str, object], path: str, data_start: int, file_size: int
+) -> Dict[str, Tuple[np.dtype, Tuple[int, ...], int, int, Optional[int]]]:
+    """Decode and bounds-check the array directory.
+
+    Returns ``name -> (dtype, shape, absolute offset, nbytes, crc32)``;
+    rejects unparsable dtypes/shapes, extents past EOF, and overlapping
+    blobs before any array is materialised or memory-mapped.
+    """
+    entries: Dict[str, Tuple[np.dtype, Tuple[int, ...], int, int, Optional[int]]] = {}
+    for name, meta in header["arrays"].items():
+        if not isinstance(meta, dict):
+            raise IndexFormatError(f"index {path!r}: array {name!r} directory entry is not a dict")
+        try:
+            dtype = np.dtype(meta["dtype"])
+            shape = tuple(int(dim) for dim in meta["shape"])
+            offset = int(meta["offset"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise IndexFormatError(
+                f"index {path!r}: array {name!r} has a malformed directory entry: {exc}"
+            ) from exc
+        if offset < 0 or any(dim < 0 for dim in shape):
+            raise IndexFormatError(
+                f"index {path!r}: array {name!r} has a negative offset or dimension"
+            )
+        nbytes = _entry_nbytes(dtype, shape)
+        if data_start + offset + nbytes > file_size:
+            raise IndexCorruptionError(
+                f"index {path!r}: array {name!r} extends past the end of the file "
+                f"(needs bytes [{offset}, {offset + nbytes}) of the data section); "
+                "the index is truncated or its directory is corrupt"
+            )
+        crc = meta.get("crc32")
+        entries[name] = (dtype, shape, data_start + offset, nbytes, crc)
+    ordered = sorted(entries.items(), key=lambda item: item[1][2])
+    for (prev_name, prev), (next_name, nxt) in zip(ordered, ordered[1:]):
+        if prev[2] + prev[3] > nxt[2]:
+            raise IndexCorruptionError(
+                f"index {path!r}: arrays {prev_name!r} and {next_name!r} overlap "
+                "in the data section; the directory is corrupt"
+            )
+    return entries
+
+
+def _verify_blob_checksums(handle, path: str, entries) -> None:
+    """CRC every blob (bounded-memory chunked reads), first bad blob named."""
+    for name, (_dtype, _shape, offset, nbytes, crc) in entries.items():
+        if crc is None:  # v1 directory: nothing to verify against
+            continue
+        handle.seek(offset)
+        actual = 0
+        remaining = nbytes
+        while remaining > 0:
+            chunk = handle.read(min(_CRC_CHUNK, remaining))
+            if not chunk:
+                raise IndexCorruptionError(
+                    f"index {path!r}: array {name!r} is truncated mid-blob"
+                )
+            actual = zlib.crc32(chunk, actual)
+            remaining -= len(chunk)
+        if actual != int(crc):
+            raise IndexCorruptionError(
+                f"index {path!r}: checksum mismatch in blob {name!r} "
+                f"(stored {int(crc):#010x}, computed {actual:#010x}); the index "
+                "is corrupt — re-create it with TDMatch.save()"
+            )
+
+
+def blob_ranges(path: str) -> Dict[str, Tuple[int, int]]:
+    """Absolute ``name -> (offset, nbytes)`` extent of every array blob.
+
+    Structural validation only (no checksum verification): this is the
+    seam the fault-injection harness uses to flip bytes inside a chosen
+    blob deterministically.
+    """
+    file_size = os.path.getsize(path)
+    with open(path, "rb") as handle:
+        _version, header, data_start = _parse_header(handle, path, file_size, "none")
+        entries = _validated_directory(header, path, data_start, file_size)
+    return {name: (offset, nbytes) for name, (_d, _s, offset, nbytes, _c) in entries.items()}
+
+
 def read_index(
-    path: str, mmap: bool = False
+    path: str, mmap: bool = False, verify: str = "header"
 ) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
     """Read a container written by :func:`write_index`.
 
     With ``mmap=True`` every array is a read-only :class:`numpy.memmap`
     into the file (shared pages across processes); otherwise the arrays
-    are materialised as ordinary writable ndarrays.
+    are materialised as ordinary writable ndarrays.  ``verify`` selects
+    how hard to look for corruption — see the module docstring.
     """
+    if verify not in VERIFY_MODES:
+        raise ValueError(f"unknown verify mode {verify!r}; valid: {list(VERIFY_MODES)}")
+    file_size = os.path.getsize(path)
     with open(path, "rb") as handle:
-        preamble = handle.read(_PREAMBLE.size)
-        if len(preamble) < _PREAMBLE.size or preamble[:8] != INDEX_MAGIC:
-            raise IndexFormatError(f"{path!r} is not a TDmatch index (bad magic)")
-        _magic, version, header_len = _PREAMBLE.unpack(preamble)
-        if version != INDEX_FORMAT_VERSION:
-            raise IndexFormatError(
-                f"index {path!r} has format version {version}, but this build "
-                f"reads version {INDEX_FORMAT_VERSION}; re-create the index with "
-                "TDMatch.save() from a matching version"
-            )
-        header = json.loads(handle.read(header_len).decode("utf-8"))
-        data_start = _align(_PREAMBLE.size + header_len)
+        _version, header, data_start = _parse_header(handle, path, file_size, verify)
+        entries = _validated_directory(header, path, data_start, file_size)
+        if verify == "full":
+            _verify_blob_checksums(handle, path, entries)
         arrays: Dict[str, np.ndarray] = {}
-        for name, meta in header["arrays"].items():
-            dtype = np.dtype(meta["dtype"])
-            shape = tuple(meta["shape"])
-            offset = data_start + int(meta["offset"])
-            if mmap:
+        for name, (dtype, shape, offset, nbytes, _crc) in entries.items():
+            if nbytes == 0:
+                arrays[name] = np.empty(shape, dtype=dtype)
+            elif mmap:
                 arrays[name] = np.memmap(
                     path, dtype=dtype, mode="r", offset=offset, shape=shape
                 )
@@ -316,25 +496,31 @@ def save_pipeline(pipeline, path: str) -> str:
     return write_index(path, header, arrays)
 
 
-def load_pipeline(path: str, mmap: Optional[bool] = None):
+def load_pipeline(path: str, mmap: Optional[bool] = None, verify: str = "header"):
     """Restore a ready-to-serve :class:`TDMatch` from an index file.
 
     ``mmap=None`` defers to the ``serving.mmap`` flag saved in the index
     config; ``True`` opens the arrays as shared read-only memory maps,
-    ``False`` materialises private writable copies.
+    ``False`` materialises private writable copies.  ``verify`` is the
+    corruption check applied before serving anything (see
+    :func:`read_index`): ``"header"`` by default, ``"full"`` CRCs every
+    blob and raises :class:`IndexCorruptionError` naming the first bad
+    one, ``"none"`` keeps only the structural checks.
     """
     # Imported here, not at module top: repro.core.pipeline lazily imports
     # this module for TDMatch.save/load.
     from repro.core.pipeline import PipelineState, TDMatch
 
     # A memmap open reads no array data, so probe with it and only fall back
-    # to materialised copies when the final decision is mmap=False.
-    header, arrays = read_index(path, mmap=True)
+    # to materialised copies when the final decision is mmap=False.  The
+    # requested verification already ran on the first read, so the re-read
+    # skips it.
+    header, arrays = read_index(path, mmap=True, verify=verify)
     if mmap is None:
         serving = (header.get("config") or {}).get("serving") or {}
         mmap = bool(serving.get("mmap", False))
     if not mmap:
-        header, arrays = read_index(path, mmap=False)
+        header, arrays = read_index(path, mmap=False, verify="none")
 
     config = config_from_dict(header["config"])
     seed = header.get("seed")
@@ -372,4 +558,5 @@ def load_pipeline(path: str, mmap: Optional[bool] = None):
         pipeline.timings.set_note(name, value)
     pipeline.timings.set_note("serving_mmap", str(bool(mmap)))
     pipeline.timings.set_note("serving_index", path)
+    pipeline.timings.set_note("serving_verify", verify)
     return pipeline

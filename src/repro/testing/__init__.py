@@ -1,0 +1,31 @@
+"""Deterministic fault injection for the reliability test suite.
+
+See :mod:`repro.testing.faults`.  This package is test infrastructure
+shipped inside ``repro`` so worker processes (which only have ``repro`` on
+their path, not ``tests/``) can execute injected faults; production code
+imports it lazily and only when a fault plan is active in the environment.
+"""
+
+from repro.testing.faults import (
+    FAULT_PLAN_ENV,
+    FaultInjectionError,
+    FaultPlan,
+    active,
+    downgrade_index_to_v1,
+    flip_byte,
+    maybe_inject,
+    truncate_file,
+    write_failure,
+)
+
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "FaultInjectionError",
+    "FaultPlan",
+    "active",
+    "downgrade_index_to_v1",
+    "flip_byte",
+    "maybe_inject",
+    "truncate_file",
+    "write_failure",
+]

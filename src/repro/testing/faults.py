@@ -1,0 +1,239 @@
+"""Seeded, deterministic fault plans for the reliability suite.
+
+A :class:`FaultPlan` describes one misbehaviour — kill worker processing
+task K, hang task K, or fail task K with an exception — plus how many of
+the first occurrences fire (``times``).  Plans travel to worker processes
+through the :data:`FAULT_PLAN_ENV` environment variable as JSON, so they
+work identically under ``fork`` and ``spawn`` start methods; the
+:func:`active` context manager arms and disarms a plan around a block.
+
+Cross-process "fire exactly the first N occurrences" accounting uses
+``O_CREAT | O_EXCL`` claim files in the plan's scratch directory: each
+worker that reaches the injection point atomically claims the next slot,
+and once ``times`` slots are claimed the fault is spent — which is what
+makes *retry-then-succeed* scenarios deterministic instead of racy.
+
+File-level faults complete the matrix:
+
+* :func:`truncate_file` / :func:`flip_byte` damage an index in place,
+* :func:`write_failure` arms the :mod:`repro.utils.io` seam so an atomic
+  write aborts after a chosen byte count (proving the previous file
+  survives a torn save),
+* :func:`downgrade_index_to_v1` rewrites a v2 index as format version 1
+  (checksums stripped) for backward-compatibility tests.
+
+Task-targeting plans are seeded through :func:`repro.utils.rng.derive_rng`
+(:class:`FaultPlan.seeded`), so a fault matrix sweeps reproducible task
+choices without hand-picking indexes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
+from typing import Iterator, Optional
+
+#: Environment variable carrying the active plan (JSON) to workers.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Exit code of a killed worker; chosen to mimic SIGKILL's shell status.
+_KILL_EXIT_CODE = 137
+
+_VALID_KINDS = ("kill", "hang", "fail")
+
+
+class FaultInjectionError(RuntimeError):
+    """The deliberate exception a ``fail`` plan raises inside the task."""
+
+
+@dataclass
+class FaultPlan:
+    """One deterministic misbehaviour targeting a pooled task.
+
+    kind:
+        ``"kill"`` exits the worker process hard (crash → the pool sees
+        ``BrokenProcessPool``), ``"hang"`` sleeps ``hang_seconds`` (→ the
+        pool's task timeout fires), ``"fail"`` raises
+        :class:`FaultInjectionError` inside the task.
+    task:
+        The task index (as passed to ``WorkerPool.run``) the fault targets.
+    times:
+        How many of the first occurrences fire; the default 1 makes the
+        retry succeed, larger values exhaust the retry budget and force
+        degradation.
+    hang_seconds:
+        Sleep length of a ``hang`` fault (must comfortably exceed the
+        pool's ``task_timeout`` under test).
+    scratch:
+        Directory holding the cross-process claim files; filled in by
+        :func:`active`.
+    """
+
+    kind: str
+    task: int
+    times: int = 1
+    hang_seconds: float = 60.0
+    scratch: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; valid: {list(_VALID_KINDS)}")
+        if self.times < 1:
+            raise ValueError("times must be >= 1")
+
+    @classmethod
+    def seeded(cls, seed, num_tasks: int, kind: str = "kill", times: int = 1) -> "FaultPlan":
+        """A plan whose target task is drawn from the repo's seeded RNG tree."""
+        from repro.utils.rng import derive_rng
+
+        rng = derive_rng(seed, "fault-plan", kind)
+        return cls(kind=kind, task=int(rng.integers(num_tasks)), times=times)
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls(**json.loads(text))
+
+
+@contextmanager
+def active(plan: FaultPlan, scratch: str) -> Iterator[FaultPlan]:
+    """Arm ``plan`` in the environment for the duration of the block.
+
+    ``scratch`` must be a writable directory (a pytest ``tmp_path``); the
+    claim files recording which occurrences already fired live there, so
+    two tests never share fault accounting.
+    """
+    previous = os.environ.get(FAULT_PLAN_ENV)
+    armed = FaultPlan(
+        kind=plan.kind,
+        task=plan.task,
+        times=plan.times,
+        hang_seconds=plan.hang_seconds,
+        scratch=os.fspath(scratch),
+    )
+    os.environ[FAULT_PLAN_ENV] = armed.to_json()
+    try:
+        yield armed
+    finally:
+        if previous is None:
+            os.environ.pop(FAULT_PLAN_ENV, None)
+        else:
+            os.environ[FAULT_PLAN_ENV] = previous
+
+
+def _claim(plan: FaultPlan) -> bool:
+    """Atomically claim the next firing slot; False once ``times`` are spent."""
+    if plan.scratch is None:
+        return True  # un-armed plan (unit tests calling maybe_inject directly)
+    for slot in range(plan.times):
+        name = os.path.join(plan.scratch, f"fault-{plan.kind}-{plan.task}-{slot}.claim")
+        try:
+            os.close(os.open(name, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+            return True
+        except FileExistsError:
+            continue
+    return False
+
+
+def maybe_inject(task: int) -> None:
+    """Execute the armed fault if ``task`` is its target and slots remain.
+
+    Called from the worker-side task wrapper
+    (:func:`repro.parallel.shm._supervised_call`); a no-op when no plan is
+    armed, the task doesn't match, or the plan's firings are spent.
+    """
+    text = os.environ.get(FAULT_PLAN_ENV)
+    if not text:
+        return
+    plan = FaultPlan.from_json(text)
+    if plan.task != task or not _claim(plan):
+        return
+    if plan.kind == "kill":
+        # Bypass interpreter cleanup entirely: the pool must observe a dead
+        # worker (BrokenProcessPool), not an orderly exception.
+        os._exit(_KILL_EXIT_CODE)
+    if plan.kind == "hang":
+        time.sleep(plan.hang_seconds)
+        return
+    raise FaultInjectionError(f"injected failure on task {task}")
+
+
+# ----------------------------------------------------------------------
+# File-level faults
+def truncate_file(path: str, at_byte: int) -> None:
+    """Cut ``path`` down to its first ``at_byte`` bytes in place."""
+    with open(path, "r+b") as handle:
+        handle.truncate(at_byte)
+
+
+def flip_byte(path: str, offset: int) -> None:
+    """Invert one byte of ``path`` in place (deterministic bit rot)."""
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        original = handle.read(1)
+        if len(original) != 1:
+            raise ValueError(f"offset {offset} is outside {path!r}")
+        handle.seek(offset)
+        handle.write(bytes([original[0] ^ 0xFF]))
+
+
+@contextmanager
+def write_failure(after_bytes: int) -> Iterator[None]:
+    """Make the next atomic write abort once ``after_bytes`` were written.
+
+    Arms the :func:`repro.utils.io.install_write_fault` seam for the
+    block: the first ``write()`` that would push the stream past
+    ``after_bytes`` raises ``OSError`` instead, simulating a crash at that
+    byte boundary of the temp file — before the ``os.replace``.
+    """
+    from repro.utils import io as durable_io
+
+    def fault(bytes_written: int, chunk: bytes) -> None:
+        if bytes_written + len(chunk) > after_bytes:
+            raise OSError(f"injected write failure after {bytes_written} bytes")
+
+    durable_io.install_write_fault(fault)
+    try:
+        yield
+    finally:
+        durable_io.clear_write_fault()
+
+
+def downgrade_index_to_v1(path: str, out: str) -> str:
+    """Rewrite a v2 serving index at ``path`` as a format-version-1 file.
+
+    Strips the header CRC and the per-blob ``crc32`` directory entries and
+    repacks the preamble, keeping blob bytes identical (directory offsets
+    are relative to the aligned data start, so the data section copies
+    verbatim).  Exists so the suite can prove v1 indexes still load.
+    """
+    from repro.serving import index as index_format
+
+    with open(path, "rb") as handle:
+        preamble = handle.read(index_format._PREAMBLE.size)
+        _magic, version, header_len = index_format._PREAMBLE.unpack(preamble)
+        if version != 2:
+            raise ValueError(f"{path!r} is not a v2 index (version {version})")
+        handle.read(index_format._HEADER_CRC.size)
+        header = json.loads(handle.read(header_len).decode("utf-8"))
+        data_start = index_format._align(
+            index_format._PREAMBLE.size + index_format._HEADER_CRC.size + header_len
+        )
+        handle.seek(data_start)
+        data = handle.read()
+    for entry in header["arrays"].values():
+        entry.pop("crc32", None)
+    payload = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    new_preamble = index_format._PREAMBLE.pack(index_format.INDEX_MAGIC, 1, len(payload))
+    new_data_start = index_format._align(len(new_preamble) + len(payload))
+    with open(out, "wb") as handle:  # repro-lint: disable=atomic-write
+        handle.write(new_preamble)
+        handle.write(payload)
+        handle.write(b"\x00" * (new_data_start - len(new_preamble) - len(payload)))
+        handle.write(data)
+    return out

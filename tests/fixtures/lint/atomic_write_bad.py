@@ -1,0 +1,24 @@
+"""Fixture: raw destination writes that bypass the durable helper."""
+
+from pathlib import Path
+
+
+def save_bytes(path, data):
+    with open(path, "wb") as handle:
+        handle.write(data)
+
+
+def save_text(path, text):
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+def save_exclusive(path, text):
+    handle = open(path, mode="x")
+    handle.write(text)
+    handle.close()
+
+
+def save_via_pathlib(path, text):
+    with Path(path).open("w") as handle:
+        handle.write(text)

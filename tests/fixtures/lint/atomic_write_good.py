@@ -1,0 +1,27 @@
+"""Fixture: reads, in-place edits, and routing through atomic_write."""
+
+from repro.utils.io import atomic_write
+
+
+def load_bytes(path):
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def flip_in_place(path, offset):
+    # "r+b" is an in-place edit, not a destination write — not flagged.
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+
+
+def save_durably(path, text):
+    with atomic_write(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+def open_with_dynamic_mode(path, mode):
+    # A dynamic mode expression is not guessed at.
+    return open(path, mode)

@@ -1,0 +1,6 @@
+"""Fixture: a deliberate raw write (crafting a hostile file), silenced."""
+
+
+def craft_truncated_file(path, data):
+    with open(path, "wb") as handle:  # repro-lint: disable=atomic-write
+        handle.write(data[: len(data) // 2])

@@ -1,0 +1,12 @@
+"""Fixture: the durable-writer module itself may open destinations raw."""
+
+import os
+import tempfile
+
+
+def atomic_write_lookalike(path, data):
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path) or ".")
+    os.close(fd)
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+    os.replace(tmp, path)

@@ -30,6 +30,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint"
 
 EXPECTED_RULES = {
+    "atomic-write",
     "engine-registry",
     "rng-discipline",
     "shm-ownership",
@@ -50,7 +51,7 @@ def rules_of(result):
 # ----------------------------------------------------------------------
 # Registry and selection
 class TestRegistry:
-    def test_all_five_contract_rules_registered(self):
+    def test_all_contract_rules_registered(self):
         assert EXPECTED_RULES <= set(all_rules())
 
     def test_rules_have_descriptions_and_scopes(self):
@@ -169,6 +170,29 @@ class TestTimerDiscipline:
 
     def test_suppression(self):
         result = lint(FIXTURES / "timer_suppressed.py", select=["timer-discipline"])
+        assert result.ok
+
+
+# ----------------------------------------------------------------------
+# atomic-write
+class TestAtomicWrite:
+    def test_bad_fixture_flagged(self):
+        result = lint(FIXTURES / "atomic_write_bad.py", select=["atomic-write"])
+        # open(.., "wb"), open(.., "w"), mode="x", and Path(..).open("w").
+        assert len(result.findings) == 4
+        for finding in result.findings:
+            assert "atomic_write" in finding.message
+
+    def test_good_fixture_clean(self):
+        result = lint(FIXTURES / "atomic_write_good.py", select=["atomic-write"])
+        assert result.ok
+
+    def test_suppression(self):
+        result = lint(FIXTURES / "atomic_write_suppressed.py", select=["atomic-write"])
+        assert result.ok
+
+    def test_utils_io_exempt(self):
+        result = lint(FIXTURES / "utils" / "io.py", select=["atomic-write"])
         assert result.ok
 
 

@@ -5,6 +5,7 @@ import os
 import struct
 import subprocess
 import sys
+import zlib
 
 import numpy as np
 import pytest
@@ -15,7 +16,13 @@ from repro.core.pipeline import TDMatch
 from repro.corpus.documents import TextCorpus
 from repro.datasets import ScenarioSize, generate_scenario
 from repro.eval.metrics import evaluate_rankings
-from repro.serving import INDEX_FORMAT_VERSION, IndexFormatError, LazyBuiltGraph
+from repro.serving import (
+    INDEX_FORMAT_VERSION,
+    SUPPORTED_VERSIONS,
+    IndexCorruptionError,
+    IndexFormatError,
+    LazyBuiltGraph,
+)
 from repro.serving.index import read_index, write_index
 
 SRC_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
@@ -95,8 +102,144 @@ class TestIndexContainer:
         with pytest.raises(IndexFormatError, match="999"):
             TDMatch.load(path)
 
-    def test_format_version_is_one(self):
-        assert INDEX_FORMAT_VERSION == 1
+    def test_format_version_is_two(self):
+        # v2 added the header CRC and per-blob CRC32s; v1 stays readable.
+        assert INDEX_FORMAT_VERSION == 2
+        assert SUPPORTED_VERSIONS == (1, 2)
+
+
+# ----------------------------------------------------------------------
+# Hostile headers: every malformed container fails with the library's own
+# exceptions — never a raw struct/json/numpy error.
+def _raw_index(tmp_path, arrays=None) -> str:
+    path = str(tmp_path / "hostile.tdm")
+    write_index(path, {"k": "v"}, arrays or {"a": np.arange(6, dtype=np.int64)})
+    return path
+
+
+def _rewrite_header(path: str, mutate) -> None:
+    """Decode the v2 container, let ``mutate`` edit the header dict, repack.
+
+    The header CRC is recomputed so the corruption under test is the
+    *directory contents*, not a checksum mismatch.
+    """
+    preamble_struct = struct.Struct("<8sIQ")
+    with open(path, "rb") as handle:
+        preamble = handle.read(preamble_struct.size)
+        magic, version, header_len = preamble_struct.unpack(preamble)
+        handle.read(4)  # header CRC, recomputed below
+        header = json.loads(handle.read(header_len).decode("utf-8"))
+        data_start = (preamble_struct.size + 4 + header_len + 63) // 64 * 64
+        handle.seek(data_start)
+        data = handle.read()
+    mutate(header)
+    payload = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    new_data_start = (preamble_struct.size + 4 + len(payload) + 63) // 64 * 64
+    with open(path, "wb") as handle:
+        handle.write(preamble_struct.pack(magic, version, len(payload)))
+        handle.write(struct.pack("<I", zlib.crc32(payload)))
+        handle.write(payload)
+        handle.write(b"\x00" * (new_data_start - preamble_struct.size - 4 - len(payload)))
+        handle.write(data)
+
+
+class TestHostileHeaders:
+    def test_truncated_preamble(self, tmp_path):
+        path = str(tmp_path / "stub.tdm")
+        with open(path, "wb") as handle:
+            handle.write(b"TDMIDX\x00\x00\x01")  # magic + 1 byte
+        with pytest.raises(IndexFormatError, match="truncated inside the preamble"):
+            read_index(path)
+
+    def test_header_length_past_eof(self, tmp_path):
+        path = _raw_index(tmp_path)
+        with open(path, "r+b") as handle:
+            handle.seek(12)
+            handle.write(struct.pack("<Q", 10**9))
+        with pytest.raises(IndexCorruptionError, match="hostile header length"):
+            read_index(path)
+
+    def test_unknown_format_version(self, tmp_path):
+        path = _raw_index(tmp_path)
+        with open(path, "r+b") as handle:
+            handle.seek(8)
+            handle.write(struct.pack("<I", 7))
+        with pytest.raises(IndexFormatError, match="version 7"):
+            read_index(path)
+
+    def test_directory_offset_out_of_bounds(self, tmp_path):
+        path = _raw_index(tmp_path)
+
+        def mutate(header):
+            header["arrays"]["a"]["offset"] = 10**9
+
+        _rewrite_header(path, mutate)
+        with pytest.raises(IndexCorruptionError, match="extends past the end"):
+            read_index(path)
+
+    def test_directory_offsets_overlapping(self, tmp_path):
+        path = _raw_index(
+            tmp_path,
+            arrays={
+                "a": np.arange(16, dtype=np.int64),
+                "b": np.arange(16, dtype=np.int64),
+            },
+        )
+
+        def mutate(header):
+            # Point b into a's extent.
+            header["arrays"]["b"]["offset"] = header["arrays"]["a"]["offset"] + 8
+
+        _rewrite_header(path, mutate)
+        with pytest.raises(IndexCorruptionError, match="overlap"):
+            read_index(path)
+
+    def test_negative_dimension(self, tmp_path):
+        path = _raw_index(tmp_path)
+
+        def mutate(header):
+            header["arrays"]["a"]["shape"] = [-6]
+
+        _rewrite_header(path, mutate)
+        with pytest.raises(IndexFormatError, match="negative"):
+            read_index(path)
+
+    def test_unparsable_dtype(self, tmp_path):
+        path = _raw_index(tmp_path)
+
+        def mutate(header):
+            header["arrays"]["a"]["dtype"] = "no-such-dtype"
+
+        _rewrite_header(path, mutate)
+        with pytest.raises(IndexFormatError, match="malformed directory entry"):
+            read_index(path)
+
+    def test_header_not_json(self, tmp_path):
+        path = _raw_index(tmp_path)
+        preamble_struct = struct.Struct("<8sIQ")
+        payload = b"{not json"
+        with open(path, "wb") as handle:
+            handle.write(preamble_struct.pack(b"TDMIDX\x00\x00", 2, len(payload)))
+            handle.write(struct.pack("<I", zlib.crc32(payload)))
+            handle.write(payload)
+        with pytest.raises(IndexFormatError, match="not valid JSON"):
+            read_index(path)
+
+    def test_missing_array_directory(self, tmp_path):
+        path = _raw_index(tmp_path)
+        preamble_struct = struct.Struct("<8sIQ")
+        payload = json.dumps({"config": {}}).encode("utf-8")
+        with open(path, "wb") as handle:
+            handle.write(preamble_struct.pack(b"TDMIDX\x00\x00", 2, len(payload)))
+            handle.write(struct.pack("<I", zlib.crc32(payload)))
+            handle.write(payload)
+        with pytest.raises(IndexFormatError, match="array directory"):
+            read_index(path)
+
+    def test_unknown_verify_mode_rejected(self, tmp_path):
+        path = _raw_index(tmp_path)
+        with pytest.raises(ValueError, match="verify mode"):
+            read_index(path, verify="paranoid")
 
 
 # ----------------------------------------------------------------------
