@@ -20,7 +20,12 @@ See :mod:`repro.analysis.registry` for the rule catalogue and the README's
 
 from repro.analysis.core import Checker, Finding, ModuleContext, ProjectContext
 from repro.analysis.registry import all_rules, get_rule, register
-from repro.analysis.report import REPORT_SCHEMA_VERSION, render_json, render_text
+from repro.analysis.report import (
+    REPORT_SCHEMA_VERSION,
+    render_github,
+    render_json,
+    render_text,
+)
 from repro.analysis.runner import run_analysis
 
 __all__ = [
@@ -32,6 +37,7 @@ __all__ = [
     "all_rules",
     "get_rule",
     "register",
+    "render_github",
     "render_json",
     "render_text",
     "run_analysis",

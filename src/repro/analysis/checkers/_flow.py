@@ -1,0 +1,83 @@
+"""Shared plumbing of the flow-aware checkers.
+
+:class:`FlowChecker` wires a module checker to the project dataflow cache:
+``check_module`` fetches the (shared, memoised) :class:`ModuleFlow` of the
+file and hands it to :meth:`check_flow`.  When a checker is driven without
+a :class:`ProjectContext` (unit tests calling ``check_module(ctx)``
+directly), a single-module project is built on the fly so resolution and
+flow still work — just without cross-module visibility.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.analysis.core import Checker, Finding, ModuleContext, ProjectContext
+
+#: Scope owners: descending into these from an outer scope is skipped.
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+class FlowChecker(Checker):
+    """Base of the dataflow-driven rules (mmap/fork/rng/dtype/arena)."""
+
+    def check_module(
+        self, ctx: ModuleContext, project: Optional[ProjectContext] = None
+    ) -> List[Finding]:
+        self.findings = []
+        self._ctx = ctx
+        if project is None:
+            project = ProjectContext([ctx])
+        self.project = project
+        self.check_flow(ctx, project.flow(ctx), project)
+        self._ctx = None
+        return self.findings
+
+    def check_flow(self, ctx: ModuleContext, flow, project: ProjectContext) -> None:
+        raise NotImplementedError
+
+
+def scope_body(ctx: ModuleContext, fn: Optional[ast.AST]) -> List[ast.stmt]:
+    """The statement list owned by one flow scope (module body or function)."""
+    return ctx.tree.body if fn is None else list(fn.body)
+
+
+def iter_scope(body: List[ast.stmt]) -> Iterator[ast.AST]:
+    """All nodes of one scope, *excluding* nested function/class bodies.
+
+    Mirrors how the flow engine interprets: each function is its own scope,
+    so a syntactic sweep paired with a ``FlowResult`` must not wander into
+    nested defs (their events belong to other ``FlowResult``\\ s).
+    """
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _SCOPE_NODES):
+                yield child  # the def/class node itself, not its body
+                continue
+            stack.append(child)
+
+
+def expr_key(expr: ast.AST) -> Optional[str]:
+    """Dotted environment key of a Name / Name-rooted attribute chain."""
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def names_in(target: ast.AST) -> Set[str]:
+    """Every Name bound by an assignment/loop/comprehension target."""
+    names: Set[str] = set()
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+    return names

@@ -1,0 +1,142 @@
+"""arena-lifecycle: every ShmArena reaches close+unlink on all paths.
+
+A :class:`repro.parallel.shm.ShmArena` owns ``/dev/shm`` segments; if an
+exception escapes between construction and ``close()`` the segments leak
+until reboot (the resource tracker is deliberately disabled on attach, so
+nothing else reclaims them).  The arena is a context manager precisely so
+the guarantee is structural.
+
+The rule finds every expression whose value the dataflow engine tags
+``arena`` — direct ``ShmArena()`` calls *and* factory helpers whose return
+provenance carries the tag, through aliases and re-exports — and requires
+one of:
+
+* construction as a ``with`` item (``with ShmArena() as arena:``);
+* assignment to a name that some ``try``/``finally`` in the same scope
+  closes (``finally: arena.close()`` — ``unlink`` counts too);
+* ownership transfer: the name is returned, or the arena is assigned to
+  ``self.<attr>`` (the instance's own lifecycle then owns it), or the
+  construction *is* the return expression of a factory.
+
+Anything else — a bare ``a = ShmArena()`` with a close on the happy path
+only, or a constructed-and-dropped arena — is flagged at the construction
+site with the provenance chain that tagged it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set, Tuple
+
+from repro.analysis.checkers._flow import FlowChecker, iter_scope, scope_body
+from repro.analysis.core import ModuleContext, ProjectContext
+from repro.analysis.registry import register
+
+
+@register
+class ArenaLifecycleChecker(FlowChecker):
+    rule = "arena-lifecycle"
+    description = (
+        "ShmArena must be a with-item or closed in try/finally "
+        "(close+unlink guaranteed on all paths)"
+    )
+
+    def check_flow(self, ctx: ModuleContext, flow, project: ProjectContext) -> None:
+        for scope in flow.functions:
+            if scope.fn is None and ctx.path.name == "__init__.py":
+                continue  # package re-export modules construct nothing
+            arena_calls = {
+                id(event.node): event
+                for event in scope.calls
+                if event.result.has("arena")
+            }
+            if not arena_calls:
+                continue
+            body = scope_body(ctx, scope.fn)
+            safe, candidates, orphans = self._classify(body, arena_calls)
+            protected = self._protected_names(body)
+            returned = self._returned_names(body)
+            for name, call_node in candidates:
+                if name in protected or name in returned:
+                    continue
+                event = arena_calls[id(call_node)]
+                self.report(
+                    call_node,
+                    f"ShmArena bound to {name!r} without a with-block or a "
+                    "try/finally reaching .close(); an exception here leaks "
+                    "/dev/shm segments until reboot",
+                    provenance=event.result.trace,
+                )
+            for call_node in orphans:
+                if id(call_node) in safe:
+                    continue
+                event = arena_calls[id(call_node)]
+                self.report(
+                    call_node,
+                    "ShmArena constructed without keeping a handle; nothing "
+                    "can ever close+unlink its segments — use "
+                    "'with ShmArena() as arena:'",
+                    provenance=event.result.trace,
+                )
+
+    # -- classification of construction sites --------------------------
+    def _classify(self, body, arena_calls):
+        """Split arena constructions into safe / named / orphaned sites."""
+        safe: Set[int] = set()
+        candidates: List[Tuple[str, ast.Call]] = []
+        claimed: Set[int] = set()
+        for node in iter_scope(body):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if id(item.context_expr) in arena_calls:
+                        safe.add(id(item.context_expr))
+                        claimed.add(id(item.context_expr))
+            elif isinstance(node, ast.Return):
+                if node.value is not None and id(node.value) in arena_calls:
+                    safe.add(id(node.value))  # factory: caller owns it
+                    claimed.add(id(node.value))
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                value = node.value
+                if value is None or id(value) not in arena_calls:
+                    continue
+                claimed.add(id(value))
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        candidates.append((target.id, value))
+                    elif isinstance(target, ast.Attribute):
+                        safe.add(id(value))  # self.<attr>: instance lifecycle
+        orphans = [
+            event.node
+            for event in arena_calls.values()
+            if id(event.node) not in claimed and id(event.node) not in safe
+        ]
+        return safe, candidates, orphans
+
+    @staticmethod
+    def _protected_names(body) -> Set[str]:
+        """Names with ``.close()``/``.unlink()`` inside some finally block."""
+        protected: Set[str] = set()
+        for node in iter_scope(body):
+            if not isinstance(node, ast.Try):
+                continue
+            for stmt in node.finalbody:
+                for sub in ast.walk(stmt):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr in ("close", "unlink")
+                        and isinstance(sub.func.value, ast.Name)
+                    ):
+                        protected.add(sub.func.value.id)
+        return protected
+
+    @staticmethod
+    def _returned_names(body) -> Set[str]:
+        returned: Set[str] = set()
+        for node in iter_scope(body):
+            if isinstance(node, ast.Return) and isinstance(node.value, ast.Name):
+                returned.add(node.value.id)
+        return returned

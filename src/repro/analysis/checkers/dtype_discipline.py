@@ -1,0 +1,69 @@
+"""dtype-discipline: float32 model-matrix modules stay float32.
+
+The embedding matrices are stored, served and memory-mapped as float32
+(half the index size, and the serving mmap contract depends on the layout
+staying fixed).  Two mistakes silently break that:
+
+* a **dtype-less allocation** — ``np.zeros(shape)`` defaults to float64,
+  doubling the matrix and changing every downstream ``dtype``;
+* **mixed float32/float64 arithmetic** — a float64 operand (``np.float64``
+  scalar, a dtype-less intermediate) widens the whole expression to
+  float64, so a matrix written back from it changes dtype — or pays a
+  cast — far from the line that caused it.
+
+The rule is **opt-in per module**: a header directive comment
+
+    # repro-lint: module-dtype=float32
+
+(placed above the first statement, next to the module docstring) declares
+the module's arrays float32.  In annotated modules the rule flags
+dtype-less ``np.zeros``/``np.empty``/``np.ones``/``np.full`` calls and any
+binary operation whose operands the dtype lattice proves float32 × float64
+(:mod:`repro.analysis.nptypes`); untracked or ``unknown`` dtypes are never
+flagged.  Intentional float64 accumulators can suppress the line.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.checkers._flow import FlowChecker
+from repro.analysis.core import ModuleContext, ProjectContext
+from repro.analysis.registry import register
+
+#: numpy constructors with a defaulted (float64) dtype parameter.
+_DTYPE_DEFAULTED = {"zeros": 1, "empty": 1, "ones": 1, "full": 2}
+
+
+@register
+class DtypeDisciplineChecker(FlowChecker):
+    rule = "dtype-discipline"
+    description = (
+        "modules annotated '# repro-lint: module-dtype=float32' may not "
+        "allocate dtype-less arrays or mix float32/float64 arithmetic"
+    )
+
+    def check_flow(self, ctx: ModuleContext, flow, project: ProjectContext) -> None:
+        if ctx.directives.get("module-dtype") != "float32":
+            return
+        for scope in flow.functions:
+            for event in scope.calls:
+                position = _DTYPE_DEFAULTED.get(event.suffix)
+                if (
+                    position is None
+                    or not (event.qualname or "").startswith("numpy.")
+                    or "dtype" in event.keywords
+                    or len(event.arg_nodes) > position
+                ):
+                    continue
+                self.report(
+                    event.node,
+                    f"np.{event.suffix}() without dtype allocates float64 in "
+                    "a float32 module; pass dtype=np.float32",
+                )
+            for upcast in scope.upcasts:
+                self.report(
+                    upcast.node,
+                    f"float32 x float64 arithmetic ({upcast.repr}) silently "
+                    "widens to float64 in a float32 module; cast the float64 "
+                    "operand with np.float32(...) / .astype(np.float32)",
+                    provenance=upcast.left.trace + upcast.right.trace,
+                )

@@ -1,0 +1,170 @@
+"""fork-safety: pool tasks must be module-level, resource-free callables.
+
+:class:`repro.parallel.shm.WorkerPool` submits tasks to a
+``ProcessPoolExecutor`` — under the spawn start method every task callable
+is *pickled* in the parent and re-imported by qualified name in the
+worker.  Three shapes break that, at submit time or (worse) only on the
+spawn platforms CI doesn't cover:
+
+* **lambdas** — not picklable at all;
+* **nested functions / closures** — their qualified name
+  (``outer.<locals>.inner``) cannot be re-imported, and any captured
+  local state silently diverges from the parent;
+* **bound methods of resource holders** — pickling ``obj.method`` pickles
+  ``obj``; when the object holds a :class:`ShmArena`, an executor, or an
+  open file handle, the worker either crashes or gets a dead handle.
+
+The rule uses the dataflow engine to find submission sites
+(``pool.run(fn, tasks)`` on a ``WorkerPool`` value, ``.submit``/``.map``
+on an executor) and checks the submitted callable: names resolving through
+the project symbol table to a module-level ``def`` — in any scanned
+module, through aliases and re-exports — are fine; lambdas (including
+ones stashed in a local first), nested defs, and bound methods whose
+receiver is tagged ``arena``/``file-handle``/``executor`` (or whose class
+assigns such a resource to ``self`` in any method) are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional, Set
+
+from repro.analysis.checkers._flow import FlowChecker, expr_key
+from repro.analysis.core import ModuleContext, ProjectContext
+from repro.analysis.registry import register
+
+#: Receiver tags that make a bound method unsafe to ship to a worker.
+_RESOURCE_TAGS = frozenset({"arena", "file-handle", "worker-pool", "executor"})
+
+#: Constructors whose result, stored on ``self``, makes instances unsafe.
+_RESOURCE_CONSTRUCTORS = frozenset(
+    {"ShmArena", "WorkerPool", "ProcessPoolExecutor", "ThreadPoolExecutor", "open"}
+)
+
+
+def _constructor_name(func: ast.AST) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+@register
+class ForkSafetyChecker(FlowChecker):
+    rule = "fork-safety"
+    description = (
+        "WorkerPool/executor tasks must be module-level functions "
+        "(no lambdas, closures, or bound methods of resource holders)"
+    )
+
+    def check_flow(self, ctx: ModuleContext, flow, project: ProjectContext) -> None:
+        resource_classes = self._resource_classes(ctx)
+        method_owner = self._method_owners(ctx)
+        for scope in flow.functions:
+            owner = method_owner.get(id(scope.fn)) if scope.fn is not None else None
+            for event in scope.calls:
+                is_pool_run = event.method == "run" and event.base.has("worker-pool")
+                is_executor = event.method in ("submit", "map") and event.base.has(
+                    "executor"
+                )
+                if not (is_pool_run or is_executor) or not event.arg_nodes:
+                    continue
+                self._check_callable(
+                    event, scope, owner, resource_classes
+                )
+
+    # -- per-site check ------------------------------------------------
+    def _check_callable(self, event, scope, owner, resource_classes) -> None:
+        fn_node = event.arg_nodes[0]
+        fn_value = event.args[0]
+        site = f".{event.method}(...)"
+        if isinstance(fn_node, ast.Lambda) or fn_value.ref == "<lambda>":
+            self.report(
+                fn_node,
+                f"lambda submitted to {site}; spawn workers cannot unpickle "
+                "lambdas — use a module-level function",
+            )
+            return
+        if (fn_value.ref or "").startswith("<local>.") or (
+            isinstance(fn_node, ast.Name) and fn_node.id in scope.local_defs
+        ):
+            self.report(
+                fn_node,
+                f"nested function submitted to {site}; its qualified name "
+                "cannot be re-imported under spawn (and closed-over locals "
+                "diverge) — hoist it to module level",
+            )
+            return
+        if isinstance(fn_node, ast.Attribute):
+            receiver = fn_node.value
+            receiver_key = expr_key(receiver)
+            receiver_tags = (
+                scope.name_tags.get(receiver_key, frozenset())
+                if receiver_key
+                else frozenset()
+            )
+            held = receiver_tags & _RESOURCE_TAGS
+            if held:
+                self.report(
+                    fn_node,
+                    f"bound method of a {sorted(held)[0]} holder submitted to "
+                    f"{site}; pickling the task pickles the resource — "
+                    "use a module-level function",
+                )
+                return
+            root = receiver
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if (
+                isinstance(root, ast.Name)
+                and root.id == "self"
+                and owner is not None
+                and resource_classes.get(id(owner))
+            ):
+                resource = sorted(resource_classes[id(owner)])[0]
+                self.report(
+                    fn_node,
+                    f"bound method submitted to {site} on an instance holding "
+                    f"{resource}; pickling the task pickles the resource — "
+                    "use a module-level function",
+                )
+
+    # -- light class scan ----------------------------------------------
+    @staticmethod
+    def _resource_classes(ctx: ModuleContext) -> Dict[int, Set[str]]:
+        """Class node id -> resource constructors assigned to ``self``."""
+        holders: Dict[int, Set[str]] = {}
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            held: Set[str] = set()
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Assign) or not isinstance(
+                    sub.value, ast.Call
+                ):
+                    continue
+                name = _constructor_name(sub.value.func)
+                if name not in _RESOURCE_CONSTRUCTORS:
+                    continue
+                for target in sub.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        held.add(name)
+            if held:
+                holders[id(node)] = held
+        return holders
+
+    @staticmethod
+    def _method_owners(ctx: ModuleContext) -> Dict[int, ast.ClassDef]:
+        """Function node id -> immediately enclosing class (methods only)."""
+        owners: Dict[int, ast.ClassDef] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                for stmt in node.body:
+                    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        owners[id(stmt)] = node
+        return owners

@@ -1,0 +1,90 @@
+"""mmap-mutation: never write in place through a memory-mapped view.
+
+The serving contract (PR 6/PR 9) is that ``TDMatch.load(mmap=True)`` /
+``read_index(mmap=True)`` hand out ``np.memmap(..., mode="r")`` pages
+shared read-only between processes.  An in-place write through such a view
+either raises ``ValueError: assignment destination is read-only`` at
+request time or — worse, via a writable re-map — silently corrupts the
+index every other process is serving from.
+
+The rule tracks provenance with the project dataflow engine: any value
+whose trace reaches ``load(mmap=True)``, ``load_pipeline(mmap=True)``,
+``read_index(mmap=True)`` or ``np.memmap(..., mode="r")`` — through
+assignments, tuple unpacking, subscripts, helper-function returns, and
+aliased or re-exported imports — is *mmap-tagged*.  Flagged on such
+values:
+
+* subscript stores (``arr[i] = x``) and augmented assigns (``arr += x``);
+* in-place methods: ``.sort()``, ``.fill()``, ``.partition()``, ``.put()``,
+  ``.setflags()``, ``.resize()``, ``.itemset()``;
+* ufunc scatter updates (``np.add.at(arr, idx, v)``);
+* being the ``out=`` argument of any call.
+
+An intervening ``.copy()`` / ``np.array(view)`` / ``.astype(...)`` clears
+the tag — copy first, then mutate.  Each finding carries the provenance
+chain in the JSON report (schema v2).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.checkers._flow import FlowChecker
+from repro.analysis.core import ModuleContext, ProjectContext
+from repro.analysis.registry import register
+
+#: ndarray methods that modify the receiver in place.
+_MUTATING_METHODS = frozenset(
+    {"sort", "fill", "partition", "put", "setflags", "resize", "itemset"}
+)
+
+
+@register
+class MmapMutationChecker(FlowChecker):
+    rule = "mmap-mutation"
+    description = (
+        "no in-place writes through load(mmap=True)/np.memmap views; "
+        ".copy() before mutating"
+    )
+
+    def check_flow(self, ctx: ModuleContext, flow, project: ProjectContext) -> None:
+        for scope in flow.functions:
+            for mutation in scope.mutations:
+                if not mutation.target.has("mmap"):
+                    continue
+                verb = (
+                    "augmented assignment to"
+                    if mutation.kind == "augassign"
+                    else "subscript store into"
+                )
+                self.report(
+                    mutation.node,
+                    f"{verb} memory-mapped value {mutation.target_repr!r}; "
+                    "the serving index is read-only — .copy() first",
+                    provenance=mutation.target.trace,
+                )
+            for event in scope.calls:
+                if event.method in _MUTATING_METHODS and event.base.has("mmap"):
+                    self.report(
+                        event.node,
+                        f"in-place .{event.method}() on a memory-mapped value; "
+                        ".copy() first",
+                        provenance=event.base.trace,
+                    )
+                elif (
+                    event.method == "at"
+                    and (event.qualname or "").startswith("numpy.")
+                    and event.args
+                    and event.args[0].has("mmap")
+                ):
+                    self.report(
+                        event.node,
+                        "ufunc .at() scatter into a memory-mapped value; "
+                        ".copy() first",
+                        provenance=event.args[0].trace,
+                    )
+                elif "out" in event.keywords and event.keywords["out"].has("mmap"):
+                    self.report(
+                        event.node,
+                        "out= targets a memory-mapped value; "
+                        "allocate a writable destination instead",
+                        provenance=event.keywords["out"].trace,
+                    )

@@ -1,0 +1,173 @@
+"""rng-flow: shard determinism — one stream per shard, no data-driven draws.
+
+The parallel fit's contract (PR 7, hardened in PR 9) is *fixed-shard
+determinism*: at a given shard count, results are bit-identical regardless
+of worker count or scheduling.  That holds only if (a) every shard task
+owns its **own** generator — ``spawn_rngs(seed, n)`` — and (b) the number
+of draws a stage makes does not depend on the data a concurrent shard may
+reorder.  Two flow patterns break it:
+
+* **a shared generator fanned into multiple shard tasks** — the same
+  rng-tagged value placed into more than one task tuple (an ``append``
+  inside the shard loop, a comprehension, or repeated tuple literals)
+  consumes one stream in scheduler order, so results vary run to run;
+* **a draw under a data-dependent branch** — ``rng.integers(...)`` (or any
+  draw method) guarded by a condition whose value carries ``array-data``
+  provenance makes the draw *count* depend on shard contents.
+
+The rule only applies inside ``parallel/`` stage engines — that is where
+the contract is promised.  Per-shard streams are recognised through the
+dataflow engine: elements of a ``spawn_rngs(...)`` result (via
+``zip``-loop targets, subscripts, or iteration) are ``rng-fresh`` and
+never flagged; config-dependent branches (``isinstance(seed, int)``) are
+fine because only ``array-data``-tagged conditions count as data.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, List, Set
+
+from repro.analysis.checkers._flow import FlowChecker, iter_scope, names_in, scope_body
+from repro.analysis.core import ModuleContext, ProjectContext
+from repro.analysis.registry import register
+
+#: Generator draw methods (stream-consuming).
+_DRAW_METHODS = frozenset(
+    {
+        "integers",
+        "random",
+        "choice",
+        "shuffle",
+        "permutation",
+        "permuted",
+        "normal",
+        "standard_normal",
+        "uniform",
+        "poisson",
+        "binomial",
+        "exponential",
+        "bytes",
+    }
+)
+
+
+@register
+class RngFlowChecker(FlowChecker):
+    rule = "rng-flow"
+    description = (
+        "parallel stages: one spawn_rngs stream per shard task, "
+        "no rng draws under data-dependent branches"
+    )
+
+    def check_flow(self, ctx: ModuleContext, flow, project: ProjectContext) -> None:
+        if "parallel/" not in ctx.display_path and "parallel/" not in ctx.posix_path():
+            return
+        for scope in flow.functions:
+            submits = [
+                event
+                for event in scope.calls
+                if (event.method == "run" and event.base.has("worker-pool"))
+                or (event.method in ("submit", "map") and event.base.has("executor"))
+            ]
+            if submits:
+                self._check_shared_stream(ctx, flow, scope)
+            for event in scope.calls:
+                if (
+                    event.method in _DRAW_METHODS
+                    and event.base.has("rng")
+                    and "array-data" in event.branch_tags
+                ):
+                    conditions = "; ".join(event.branch_reprs) or "<condition>"
+                    self.report(
+                        event.node,
+                        f".{event.method}() draw under the data-dependent "
+                        f"branch ({conditions}); the draw count now depends "
+                        "on shard contents, breaking fixed-shard determinism",
+                        provenance=event.base.trace,
+                    )
+
+    # -- part A: one stream fanned into many tasks ---------------------
+    def _shared_rng_names(self, scope) -> Set[str]:
+        return {
+            name
+            for name, tags in scope.name_tags.items()
+            if "rng" in tags and "rng-fresh" not in tags
+        }
+
+    def _check_shared_stream(self, ctx: ModuleContext, flow, scope) -> None:
+        shared = self._shared_rng_names(scope)
+        if not shared:
+            return
+        events_by_node = scope.calls_by_node()
+        for node in iter_scope(scope_body(ctx, scope.fn)):
+            if isinstance(node, ast.Call):
+                self._check_append(node, events_by_node, shared)
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.SetComp)):
+                self._check_comprehension(node, shared)
+            elif isinstance(node, ast.List):
+                self._check_list_literal(node, shared)
+
+    def _report_shared(self, name_node: ast.AST, name: str) -> None:
+        self.report(
+            name_node,
+            f"generator {name!r} is fanned into multiple shard tasks; each "
+            "task must own its own stream — use spawn_rngs(seed, n_shards) "
+            "and pass one generator per task",
+        )
+
+    def _check_append(self, node: ast.Call, events_by_node, shared: Set[str]) -> None:
+        """``tasks.append((..., rng, ...))`` inside the shard loop."""
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "append"):
+            return
+        event = events_by_node.get(id(node))
+        if event is None or not event.loops:
+            return  # a single append fans nothing out
+        loop_bound: Set[str] = set()
+        for loop in event.loops:
+            if isinstance(loop, ast.For):
+                loop_bound |= names_in(loop.target)
+        for arg in node.args:
+            for name_node in self._tuple_names(arg):
+                if name_node.id in shared and name_node.id not in loop_bound:
+                    self._report_shared(name_node, name_node.id)
+
+    def _check_comprehension(self, node, shared: Set[str]) -> None:
+        bound: Set[str] = set()
+        for generator in node.generators:
+            bound |= names_in(generator.target)
+        for name_node in self._tuple_names(node.elt):
+            if name_node.id in shared and name_node.id not in bound:
+                self._report_shared(name_node, name_node.id)
+
+    def _check_list_literal(self, node: ast.List, shared: Set[str]) -> None:
+        """``[(0, rng), (1, rng)]`` — the same stream spelled out twice."""
+        counts = {}
+        first: dict = {}
+        for elt in node.elts:
+            if not isinstance(elt, (ast.Tuple, ast.List)):
+                continue
+            seen_here: FrozenSet[str] = frozenset(
+                name_node.id
+                for name_node in self._tuple_names(elt)
+                if name_node.id in shared
+            )
+            for name in seen_here:
+                counts[name] = counts.get(name, 0) + 1
+                first.setdefault(name, elt)
+        for name, count in sorted(counts.items()):
+            if count > 1:
+                self._report_shared(first[name], name)
+
+    @staticmethod
+    def _tuple_names(node: ast.AST) -> List[ast.Name]:
+        """Name loads inside a task payload expression."""
+        if isinstance(node, ast.Name):
+            return [node]
+        if isinstance(node, (ast.Tuple, ast.List)):
+            names: List[ast.Name] = []
+            for elt in node.elts:
+                names.extend(RngFlowChecker._tuple_names(elt))
+            return names
+        return []

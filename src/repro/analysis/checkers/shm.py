@@ -35,17 +35,27 @@ class ShmOwnershipChecker(Checker):
         "(ShmArena is the single segment owner)"
     )
 
-    def check_module(self, ctx: ModuleContext):
+    def check_module(self, ctx: ModuleContext, project=None):
         if path_matches(ctx.path, ALLOWED_SUFFIX):
             return []
-        return super().check_module(ctx)
+        return super().check_module(ctx, project)
 
-    @staticmethod
-    def _is_shared_memory(func: ast.AST) -> bool:
+    def _is_shared_memory(self, func: ast.AST) -> bool:
         if isinstance(func, ast.Name):
-            return func.id == "SharedMemory"
-        if isinstance(func, ast.Attribute):
-            return func.attr == "SharedMemory"
+            if func.id == "SharedMemory":
+                return True
+        elif isinstance(func, ast.Attribute):
+            if func.attr == "SharedMemory":
+                return True
+        else:
+            return False
+        # The symbol table sees through aliases the syntactic match misses
+        # (``from multiprocessing.shared_memory import SharedMemory as SM``).
+        if self.project is not None and self._ctx is not None:
+            symbols = self.project.index.by_ctx.get(id(self._ctx))
+            if symbols is not None:
+                resolved = self.project.index.resolve_expr(symbols, func)
+                return resolved is not None and resolved.name == "SharedMemory"
         return False
 
     def visit_Call(self, node: ast.Call) -> None:

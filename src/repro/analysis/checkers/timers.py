@@ -33,10 +33,10 @@ class TimerDisciplineChecker(Checker):
         self._time_aliases: Set[str] = set()
         self._bare_time_fns: Set[str] = set()
 
-    def check_module(self, ctx: ModuleContext):
+    def check_module(self, ctx: ModuleContext, project=None):
         self._time_aliases = set()
         self._bare_time_fns = set()
-        return super().check_module(ctx)
+        return super().check_module(ctx, project)
 
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:

@@ -15,29 +15,45 @@ Findings are plain frozen dataclasses; suppression
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
+import tokenize
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.suppressions import line_suppressions
+from repro.analysis.suppressions import (
+    module_directives,
+    suppressions_from_tokens,
+    tokenize_source,
+)
 
 
 @dataclass(frozen=True, order=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    ``provenance`` carries the dataflow trace that led a flow-aware rule to
+    the value being flagged (empty for purely syntactic rules); it is part
+    of the JSON report since schema version 2.
+    """
 
     path: str
     line: int
     col: int
     rule: str
     message: str
+    provenance: Tuple[str, ...] = field(default=(), compare=False)
 
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
 
 
 class ModuleContext:
-    """One parsed source file plus its suppression map."""
+    """One parsed source file plus its token stream and suppression map.
+
+    The file is read, parsed and tokenised exactly once per lint run; every
+    checker — and the project symbol table and dataflow engine — receives
+    these same objects.
+    """
 
     def __init__(self, path: Path, source: str, tree: ast.Module, display_path: str):
         self.path = path
@@ -45,8 +61,12 @@ class ModuleContext:
         self.tree = tree
         #: Path as printed in findings (relative to the scan root when possible).
         self.display_path = display_path
+        #: Cached token stream (shared by suppressions, directives, checkers).
+        self.tokens: List[tokenize.TokenInfo] = tokenize_source(source)
         #: line number -> set of suppressed rule ids ("all" silences every rule).
-        self.suppressed: Dict[int, Set[str]] = line_suppressions(source)
+        self.suppressed: Dict[int, Set[str]] = suppressions_from_tokens(self.tokens)
+        #: header ``# repro-lint: key=value`` directives (e.g. module-dtype).
+        self.directives: Dict[str, str] = module_directives(self.tokens)
 
     def is_suppressed(self, line: int, rule: str) -> bool:
         rules = self.suppressed.get(line)
@@ -59,24 +79,57 @@ class ModuleContext:
 
 
 class ProjectContext:
-    """The whole scan: every module plus the location of the test tree."""
+    """The whole scan: every module plus the cross-module analyses.
+
+    The symbol table (:class:`repro.analysis.project.ProjectIndex`) and the
+    dataflow cache (:class:`repro.analysis.dataflow.FlowAnalyses`) are built
+    lazily on first use and then shared by every checker in the run — one
+    symbol-table build, one flow interpretation per module.
+    """
 
     def __init__(self, modules: Sequence[ModuleContext], tests_dir: Optional[Path] = None):
         self.modules = list(modules)
         self.tests_dir = tests_dir
+        self._index = None
+        self._flows = None
+        self._test_sources: Optional[Dict[Path, str]] = None
+
+    @property
+    def index(self):
+        """The cross-module symbol table (built once per run)."""
+        if self._index is None:
+            from repro.analysis.project import ProjectIndex
+
+            self._index = ProjectIndex(self.modules)
+        return self._index
+
+    @property
+    def flows(self):
+        """The dataflow cache (one interpretation per module, memoised)."""
+        if self._flows is None:
+            from repro.analysis.dataflow import FlowAnalyses
+
+            self._flows = FlowAnalyses(self.index)
+        return self._flows
+
+    def flow(self, ctx: ModuleContext):
+        """The cached :class:`~repro.analysis.dataflow.ModuleFlow` of ``ctx``."""
+        return self.flows.module_flow(ctx)
 
     def test_sources(self) -> Dict[Path, str]:
-        """Raw text of every python file under the test tree (may be empty)."""
+        """Raw text of every python file under the test tree (cached)."""
+        if self._test_sources is not None:
+            return self._test_sources
         sources: Dict[Path, str] = {}
-        if self.tests_dir is None or not self.tests_dir.is_dir():
-            return sources
-        for path in sorted(self.tests_dir.rglob("*.py")):
-            if "__pycache__" in path.parts:
-                continue
-            try:
-                sources[path] = path.read_text(encoding="utf-8")
-            except (OSError, UnicodeDecodeError):
-                continue
+        if self.tests_dir is not None and self.tests_dir.is_dir():
+            for path in sorted(self.tests_dir.rglob("*.py")):
+                if "__pycache__" in path.parts:
+                    continue
+                try:
+                    sources[path] = path.read_text(encoding="utf-8")
+                except (OSError, UnicodeDecodeError):
+                    continue
+        self._test_sources = sources
         return sources
 
 
@@ -97,11 +150,18 @@ class Checker(ast.NodeVisitor):
     def __init__(self) -> None:
         self.findings: List[Finding] = []
         self._ctx: Optional[ModuleContext] = None
+        #: The whole-scan context (symbol table, flow cache); set by the
+        #: runner for every checker, module- and project-scoped alike.
+        self.project: Optional[ProjectContext] = None
 
     # -- driving -------------------------------------------------------
-    def check_module(self, ctx: ModuleContext) -> List[Finding]:
+    def check_module(
+        self, ctx: ModuleContext, project: Optional[ProjectContext] = None
+    ) -> List[Finding]:
         self.findings = []
         self._ctx = ctx
+        if project is not None:
+            self.project = project
         self.visit(ctx.tree)
         self._ctx = None
         return self.findings
@@ -110,7 +170,13 @@ class Checker(ast.NodeVisitor):
         raise NotImplementedError(f"{self.rule} is not a project-scoped rule")
 
     # -- reporting -----------------------------------------------------
-    def report(self, node: ast.AST, message: str, ctx: Optional[ModuleContext] = None) -> None:
+    def report(
+        self,
+        node: ast.AST,
+        message: str,
+        ctx: Optional[ModuleContext] = None,
+        provenance: Sequence[str] = (),
+    ) -> None:
         """Record a finding at ``node`` unless its line suppresses the rule."""
         ctx = ctx or self._ctx
         assert ctx is not None, "report() called outside a check"
@@ -125,6 +191,7 @@ class Checker(ast.NodeVisitor):
                 col=col + 1,
                 rule=self.rule,
                 message=message,
+                provenance=tuple(provenance),
             )
         )
 

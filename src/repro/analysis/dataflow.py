@@ -1,0 +1,824 @@
+"""Per-function forward dataflow over a CFG-lite of the AST.
+
+:class:`FlowEngine` runs one abstract interpretation per function (and one
+over the module body) and records everything the flow checkers consume:
+
+* an **environment** mapping names — including ``self.attr`` dotted paths —
+  to abstract :class:`Value`\\ s carrying provenance *tags* (``mmap``,
+  ``rng``, ``arena``, ``array-data``, …), a dtype/writability lattice
+  element (:mod:`repro.analysis.nptypes`) and a human-readable provenance
+  *trace*;
+* **transfer functions** for assignments, tuple unpacking, ``with``
+  targets, ``for`` targets (including ``zip``/``enumerate`` element-wise
+  binding), attribute/subscript reads (views keep their provenance),
+  binary operations (fresh array, promoted dtype) and calls to known
+  constructors;
+* control flow as **branch joins**: ``if``/``while``/``for``/``try``
+  bodies are interpreted on copies of the environment and joined
+  afterwards, so a tag acquired on either path survives the merge;
+* **events** — every call (:class:`CallEvent`, with resolved canonical
+  callee, argument values, enclosing-branch tags and loop nesting) and
+  every in-place mutation (:class:`MutationEvent`: subscript stores,
+  augmented assignments) — plus float32/float64 upcast records.
+
+Calls to module-level functions *inside the scan* propagate provenance
+through a return-tag **summary** (:meth:`FlowAnalyses.summary`), memoised
+and cycle-guarded, so ``arrays = _open_index(path)`` is as visible to
+`mmap-mutation` as a direct ``read_index(path, mmap=True)`` — across
+modules, through aliased imports and package re-exports.
+
+The engine runs **once** per module with every rule's sources merged;
+checkers share the cached :class:`ModuleFlow` via
+``ProjectContext.flow(ctx)``, which is what keeps the project-wide pass
+inside the CI time budget.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.analysis import nptypes
+from repro.analysis.core import ModuleContext
+from repro.analysis.project import ModuleSymbols, ProjectIndex
+
+#: Trace chains are capped so joined provenance stays readable.
+_MAX_TRACE = 4
+
+#: Tags whose values are invalidated by an explicit copy.
+_COPY_STRIPPED = frozenset({"mmap"})
+
+
+def _unparse(node: ast.AST, limit: int = 60) -> str:
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse failures are cosmetic
+        text = f"<{type(node).__name__}>"
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+@dataclass(frozen=True)
+class Value:
+    """One abstract value: provenance tags × dtype × writability × trace."""
+
+    tags: FrozenSet[str] = frozenset()
+    dtype: str = nptypes.DT_BOTTOM
+    writability: str = nptypes.W_BOTTOM
+    trace: Tuple[str, ...] = ()
+    #: Canonical qualname when this value *is* a function/class/module
+    #: object (an alias like ``WP = WorkerPool``), not data.
+    ref: Optional[str] = None
+
+    def has(self, tag: str) -> bool:
+        return tag in self.tags
+
+    def tagged(self, tag: str, site: str) -> "Value":
+        return replace(
+            self,
+            tags=self.tags | {tag},
+            trace=(self.trace + (site,))[-_MAX_TRACE:],
+            ref=None,
+        )
+
+    def join(self, other: "Value") -> "Value":
+        if self is other:
+            return self
+        trace = self.trace + tuple(t for t in other.trace if t not in self.trace)
+        return Value(
+            tags=self.tags | other.tags,
+            dtype=nptypes.join_dtype(self.dtype, other.dtype),
+            writability=nptypes.join_writability(self.writability, other.writability),
+            trace=trace[-_MAX_TRACE:],
+            ref=self.ref if self.ref == other.ref else None,
+        )
+
+
+BOTTOM = Value()
+
+
+def element_of(value: Value) -> Value:
+    """The value obtained by indexing / iterating ``value``.
+
+    Views keep their provenance (a row of a read-only memmap is still
+    read-only); an ``rng-list`` (``spawn_rngs``) yields per-element
+    generators that are additionally marked ``rng-fresh``, which is how
+    the rng-flow rule distinguishes one-stream-per-shard from a shared
+    stream.
+    """
+    tags = set(value.tags)
+    if "rng-list" in tags:
+        tags.discard("rng-list")
+        tags.update(("rng", "rng-fresh"))
+    return replace(value, tags=frozenset(tags), ref=None)
+
+
+@dataclass
+class CallEvent:
+    """One call site, with everything evaluated at the moment of the call."""
+
+    node: ast.Call
+    #: Canonical resolved callee ("repro.parallel.shm.WorkerPool.run"
+    #: collapses to the method spelling "<base>.run"); None when dynamic.
+    qualname: Optional[str]
+    #: Attribute-call method name ("run", "submit", "sort"); None for
+    #: plain-name calls.
+    method: Optional[str]
+    #: Abstract value of the receiver for method calls (BOTTOM otherwise).
+    base: Value
+    args: List[Value]
+    arg_nodes: List[ast.AST]
+    keywords: Dict[str, Value]
+    keyword_nodes: Dict[str, ast.AST]
+    #: Union of tags referenced by every enclosing if/while test.
+    branch_tags: FrozenSet[str]
+    branch_reprs: Tuple[str, ...]
+    #: Enclosing for/while loop nodes, outermost first.
+    loops: Tuple[ast.AST, ...]
+    #: Abstract value the call evaluates to (filled in by the engine).
+    result: Value = BOTTOM
+
+    @property
+    def suffix(self) -> str:
+        if self.qualname:
+            return self.qualname.rsplit(".", 1)[-1]
+        return self.method or ""
+
+
+@dataclass
+class MutationEvent:
+    """An in-place write: subscript store or augmented assignment."""
+
+    node: ast.AST
+    kind: str  # "subscript-store" | "augassign"
+    target: Value
+    target_repr: str
+
+
+@dataclass
+class UpcastEvent:
+    """A float32 × float64 binary operation (silent widening)."""
+
+    node: ast.AST
+    left: Value
+    right: Value
+    repr: str
+
+
+@dataclass
+class FlowResult:
+    """Everything recorded while interpreting one function (or module) body."""
+
+    label: str
+    fn: Optional[ast.AST]  # FunctionDef / AsyncFunctionDef; None = module body
+    calls: List[CallEvent] = field(default_factory=list)
+    mutations: List[MutationEvent] = field(default_factory=list)
+    upcasts: List[UpcastEvent] = field(default_factory=list)
+    #: Union of tags ever bound to each name in this scope.
+    name_tags: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+    #: Names bound to *nested* function definitions (not picklable by
+    #: qualname — the fork-safety rule cares).
+    local_defs: Dict[str, ast.AST] = field(default_factory=dict)
+    #: Joined value of every ``return`` expression.
+    returns: Value = BOTTOM
+
+    def calls_by_node(self) -> Dict[int, CallEvent]:
+        return {id(event.node): event for event in self.calls}
+
+
+@dataclass
+class ModuleFlow:
+    """All per-function flow results of one module, in source order."""
+
+    ctx: ModuleContext
+    functions: List[FlowResult] = field(default_factory=list)
+
+    def for_function(self, fn: ast.AST) -> Optional[FlowResult]:
+        for result in self.functions:
+            if result.fn is fn:
+                return result
+        return None
+
+
+class FlowAnalyses:
+    """Cache of per-module flows + cross-function return summaries."""
+
+    def __init__(self, index: ProjectIndex):
+        self.index = index
+        self._flows: Dict[int, ModuleFlow] = {}
+        self._summaries: Dict[str, Value] = {}
+        self._in_progress: set = set()
+
+    def module_flow(self, ctx: ModuleContext) -> ModuleFlow:
+        cached = self._flows.get(id(ctx))
+        if cached is None:
+            cached = analyze_module(ctx, self.index, self)
+            self._flows[id(ctx)] = cached
+        return cached
+
+    def summary(self, qualname: str) -> Value:
+        """Return-value provenance of an in-scan module-level function."""
+        if qualname in self._summaries:
+            return self._summaries[qualname]
+        if qualname in self._in_progress:  # recursion: assume nothing
+            return BOTTOM
+        symbol = self.index.resolve_qualname(qualname)
+        node = symbol.node
+        if symbol.module is None or not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            self._summaries[qualname] = BOTTOM
+            return BOTTOM
+        self._in_progress.add(qualname)
+        try:
+            interp = _FlowInterpreter(symbol.module, self.index, self, node.name)
+            result = interp.run_function(node)
+            summary = replace(result.returns, ref=None)
+        finally:
+            self._in_progress.discard(qualname)
+        self._summaries[qualname] = summary
+        return summary
+
+
+def analyze_module(
+    ctx: ModuleContext, index: ProjectIndex, analyses: Optional[FlowAnalyses] = None
+) -> ModuleFlow:
+    """Interpret every function (and the module body) of one module."""
+    module = index.symbols_for(ctx)
+    analyses = analyses or FlowAnalyses(index)
+    flow = ModuleFlow(ctx=ctx)
+    body_interp = _FlowInterpreter(module, index, analyses, "<module>")
+    flow.functions.append(body_interp.run_body(ctx.tree.body, fn=None))
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            interp = _FlowInterpreter(module, index, analyses, node.name)
+            flow.functions.append(interp.run_function(node))
+    return flow
+
+
+# ----------------------------------------------------------------------
+# The interpreter
+class _FlowInterpreter:
+    def __init__(
+        self,
+        module: ModuleSymbols,
+        index: ProjectIndex,
+        analyses: FlowAnalyses,
+        label: str,
+    ):
+        self.module = module
+        self.index = index
+        self.analyses = analyses
+        self.result = FlowResult(label=label, fn=None)
+        self.env: Dict[str, Value] = {}
+        self._branch_stack: List[Tuple[str, FrozenSet[str]]] = []
+        self._loop_stack: List[ast.AST] = []
+
+    # -- entry points --------------------------------------------------
+    def run_function(self, fn: ast.AST) -> FlowResult:
+        self.result.fn = fn
+        for arg in self._all_args(fn.args):
+            self._bind(arg.arg, self._param_value(arg))
+        self._exec_block(fn.body)
+        return self.result
+
+    def run_body(self, body: Sequence[ast.stmt], fn: Optional[ast.AST]) -> FlowResult:
+        self.result.fn = fn
+        self._exec_block(body)
+        return self.result
+
+    @staticmethod
+    def _all_args(args: ast.arguments) -> List[ast.arg]:
+        every = list(getattr(args, "posonlyargs", ())) + list(args.args)
+        every += list(args.kwonlyargs)
+        for extra in (args.vararg, args.kwarg):
+            if extra is not None:
+                every.append(extra)
+        return every
+
+    def _param_value(self, arg: ast.arg) -> Value:
+        annotation = ""
+        if arg.annotation is not None:
+            annotation = _unparse(arg.annotation, limit=200)
+        site = f"parameter {arg.arg!r}"
+        value = BOTTOM
+        if arg.arg == "rng" or "Generator" in annotation:
+            value = value.tagged("rng", site)
+        if "ndarray" in annotation or "memmap" in annotation:
+            value = value.tagged("array-data", site)
+        return value
+
+    # -- environment ---------------------------------------------------
+    def _bind(self, key: str, value: Value) -> None:
+        self.env[key] = value
+        if value.tags:
+            self.result.name_tags[key] = (
+                self.result.name_tags.get(key, frozenset()) | value.tags
+            )
+
+    @staticmethod
+    def _expr_key(expr: ast.AST) -> Optional[str]:
+        """Environment key of a Name or a Name-rooted attribute chain."""
+        parts: List[str] = []
+        node = expr
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+
+    def _snapshot(self) -> Dict[str, Value]:
+        return dict(self.env)
+
+    def _join_env(self, *envs: Dict[str, Value]) -> None:
+        merged: Dict[str, Value] = {}
+        for env in envs:
+            for key, value in env.items():
+                merged[key] = merged[key].join(value) if key in merged else value
+        self.env = merged
+
+    # -- statements ----------------------------------------------------
+    def _exec_block(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._exec(stmt)
+
+    def _exec(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._assign_target(target, value, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            value = self._eval(stmt.value) if stmt.value is not None else BOTTOM
+            self._assign_target(stmt.target, value, stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            self._exec_augassign(stmt)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.result.returns = self.result.returns.join(self._eval(stmt.value))
+        elif isinstance(stmt, ast.If):
+            self._exec_branching(stmt.test, [stmt.body, stmt.orelse])
+        elif isinstance(stmt, ast.While):
+            self._loop_stack.append(stmt)
+            try:
+                self._exec_branching(stmt.test, [stmt.body, stmt.orelse])
+            finally:
+                self._loop_stack.pop()
+        elif isinstance(stmt, ast.For):
+            self._exec_for(stmt)
+        elif isinstance(stmt, ast.With) or (
+            hasattr(ast, "AsyncWith") and isinstance(stmt, ast.AsyncWith)
+        ):
+            self._exec_with(stmt)
+        elif isinstance(stmt, ast.Try) or (
+            hasattr(ast, "TryStar") and isinstance(stmt, getattr(ast, "TryStar"))
+        ):
+            self._exec_try(stmt)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested def: remember it (fork-safety) but do not descend —
+            # analyze_module interprets every function separately.
+            self.result.local_defs[stmt.name] = stmt
+            self._bind(stmt.name, Value(ref=f"<local>.{stmt.name}"))
+        elif isinstance(stmt, ast.ClassDef):
+            self._bind(stmt.name, Value(ref=f"{self.module.name}.{stmt.name}"))
+        elif isinstance(stmt, (ast.Delete,)):
+            for target in stmt.targets:
+                key = self._expr_key(target)
+                if key is not None:
+                    self.env.pop(key, None)
+        elif isinstance(stmt, (ast.Assert,)):
+            self._eval(stmt.test)
+        elif isinstance(stmt, (ast.Raise,)):
+            if stmt.exc is not None:
+                self._eval(stmt.exc)
+        # Import/Global/Nonlocal/Pass/Break/Continue: no dataflow effect
+        # beyond what ModuleSymbols already indexed.
+
+    def _exec_branching(self, test: ast.expr, branches: List[Sequence[ast.stmt]]) -> None:
+        test_value = self._eval(test)
+        self._branch_stack.append((_unparse(test), test_value.tags))
+        try:
+            snapshots = []
+            base = self._snapshot()
+            for branch in branches:
+                self.env = dict(base)
+                self._exec_block(branch)
+                snapshots.append(self._snapshot())
+            self._join_env(*snapshots)
+        finally:
+            self._branch_stack.pop()
+
+    def _exec_for(self, stmt: ast.For) -> None:
+        iter_value = self._eval(stmt.iter)
+        base = self._snapshot()
+        self._bind_loop_target(stmt.target, stmt.iter, iter_value)
+        self._loop_stack.append(stmt)
+        try:
+            self._exec_block(stmt.body)
+        finally:
+            self._loop_stack.pop()
+        body_env = self._snapshot()
+        self.env = dict(base)
+        self._exec_block(stmt.orelse)
+        self._join_env(body_env, self._snapshot())
+
+    def _bind_loop_target(self, target: ast.AST, iter_expr: ast.AST, iter_value: Value) -> None:
+        # zip()/enumerate() bind tuple targets element-wise so a per-shard
+        # stream out of ``zip(ranges, rngs)`` keeps its rng-fresh marker.
+        if isinstance(target, ast.Tuple) and isinstance(iter_expr, ast.Call):
+            callee = self._eval(iter_expr.func).ref or ""
+            args = iter_expr.args
+            if callee.endswith("zip") and len(args) == len(target.elts):
+                for elt, arg in zip(target.elts, args):
+                    self._assign_target(elt, element_of(self._eval(arg)), arg)
+                return
+            if callee.endswith("enumerate") and len(target.elts) == 2 and args:
+                self._assign_target(target.elts[0], BOTTOM, None)
+                self._assign_target(
+                    target.elts[1], element_of(self._eval(args[0])), args[0]
+                )
+                return
+        self._assign_target(target, element_of(iter_value), iter_expr)
+
+    def _exec_with(self, stmt) -> None:
+        for item in stmt.items:
+            value = self._eval(item.context_expr)
+            if item.optional_vars is not None:
+                self._assign_target(item.optional_vars, value, item.context_expr)
+        self._exec_block(stmt.body)
+
+    def _exec_try(self, stmt) -> None:
+        base = self._snapshot()
+        self._exec_block(stmt.body)
+        body_env = self._snapshot()
+        handler_envs = []
+        for handler in stmt.handlers:
+            self.env = dict(base)
+            if handler.name:
+                self._bind(handler.name, BOTTOM)
+            self._exec_block(handler.body)
+            handler_envs.append(self._snapshot())
+        self.env = dict(body_env)
+        self._exec_block(stmt.orelse)
+        self._join_env(self._snapshot(), *handler_envs)
+        self._exec_block(stmt.finalbody)
+
+    def _exec_augassign(self, stmt: ast.AugAssign) -> None:
+        target_value = self._eval_target_read(stmt.target)
+        self._eval(stmt.value)
+        self.result.mutations.append(
+            MutationEvent(
+                node=stmt,
+                kind="augassign",
+                target=target_value,
+                target_repr=_unparse(stmt.target),
+            )
+        )
+        key = self._expr_key(stmt.target)
+        if key is not None:
+            self._bind(key, target_value)
+
+    def _eval_target_read(self, target: ast.AST) -> Value:
+        """The current value of an aug-assign / subscript-store base."""
+        if isinstance(target, ast.Subscript):
+            return self._eval(target.value)
+        return self._eval(target)
+
+    def _assign_target(
+        self, target: ast.AST, value: Value, value_expr: Optional[ast.AST]
+    ) -> None:
+        if isinstance(target, ast.Name):
+            self._bind(target.id, value)
+        elif isinstance(target, ast.Attribute):
+            key = self._expr_key(target)
+            if key is not None:
+                self._bind(key, value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elements: Optional[List[Value]] = None
+            if isinstance(value_expr, (ast.Tuple, ast.List)) and len(
+                value_expr.elts
+            ) == len(target.elts):
+                elements = [self._eval(elt) for elt in value_expr.elts]
+            for position, elt in enumerate(target.elts):
+                if isinstance(elt, ast.Starred):
+                    self._assign_target(elt.value, element_of(value), None)
+                elif elements is not None:
+                    self._assign_target(elt, elements[position], None)
+                else:
+                    self._assign_target(elt, element_of(value), None)
+        elif isinstance(target, ast.Subscript):
+            base = self._eval(target.value)
+            self.result.mutations.append(
+                MutationEvent(
+                    node=target,
+                    kind="subscript-store",
+                    target=base,
+                    target_repr=_unparse(target.value),
+                )
+            )
+        elif isinstance(target, ast.Starred):
+            self._assign_target(target.value, element_of(value), None)
+
+    # -- expressions ---------------------------------------------------
+    def _eval(self, expr: Optional[ast.AST]) -> Value:
+        if expr is None:
+            return BOTTOM
+        if isinstance(expr, ast.Name):
+            key_value = self.env.get(expr.id)
+            if key_value is not None:
+                return key_value
+            symbol = self.index.resolve_name(self.module, expr.id)
+            if symbol is not None:
+                return Value(ref=symbol.qualname)
+            if expr.id in ("zip", "enumerate", "open", "float", "sorted", "list"):
+                return Value(ref=expr.id)
+            return BOTTOM
+        if isinstance(expr, ast.Attribute):
+            key = self._expr_key(expr)
+            if key is not None and key in self.env:
+                return self.env[key]
+            base = self._eval(expr.value)
+            if base.ref is not None:
+                canonical = self.index.resolve_qualname(f"{base.ref}.{expr.attr}")
+                return Value(ref=canonical.qualname)
+            # An attribute of a tracked value is a view: keep provenance.
+            return replace(base, ref=None)
+        if isinstance(expr, ast.Subscript):
+            base = self._eval(expr.value)
+            self._eval(expr.slice)
+            return element_of(base)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr)
+        if isinstance(expr, ast.BinOp):
+            return self._eval_binop(expr)
+        if isinstance(expr, (ast.BoolOp,)):
+            value = BOTTOM
+            for operand in expr.values:
+                value = value.join(self._eval(operand))
+            return value
+        if isinstance(expr, ast.Compare):
+            value = self._eval(expr.left)
+            for comparator in expr.comparators:
+                value = value.join(self._eval(comparator))
+            return replace(value, ref=None)
+        if isinstance(expr, ast.UnaryOp):
+            return replace(self._eval(expr.operand), ref=None)
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            value = BOTTOM
+            for elt in expr.elts:
+                elt_value = self._eval(elt.value if isinstance(elt, ast.Starred) else elt)
+                value = value.join(elt_value)
+            return replace(value, ref=None)
+        if isinstance(expr, ast.Dict):
+            value = BOTTOM
+            for key, val in zip(expr.keys, expr.values):
+                if key is not None:
+                    self._eval(key)
+                value = value.join(self._eval(val))
+            return replace(value, ref=None)
+        if isinstance(expr, ast.IfExp):
+            self._eval(expr.test)
+            return self._eval(expr.body).join(self._eval(expr.orelse))
+        if isinstance(expr, ast.Starred):
+            return element_of(self._eval(expr.value))
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self._eval_comprehension(expr, expr.elt)
+        if isinstance(expr, ast.DictComp):
+            return self._eval_comprehension(expr, expr.value)
+        if isinstance(expr, ast.Lambda):
+            return Value(ref="<lambda>")
+        if isinstance(expr, ast.Constant):
+            return BOTTOM
+        if isinstance(expr, (ast.JoinedStr, ast.FormattedValue)):
+            for child in ast.iter_child_nodes(expr):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+            return BOTTOM
+        if isinstance(expr, (ast.Await, ast.YieldFrom)):
+            return self._eval(expr.value)
+        if isinstance(expr, ast.Yield):
+            return self._eval(expr.value) if expr.value is not None else BOTTOM
+        if isinstance(expr, ast.Slice):
+            for part in (expr.lower, expr.upper, expr.step):
+                if part is not None:
+                    self._eval(part)
+            return BOTTOM
+        if isinstance(expr, ast.NamedExpr):
+            value = self._eval(expr.value)
+            self._assign_target(expr.target, value, expr.value)
+            return value
+        return BOTTOM
+
+    def _eval_comprehension(self, expr, result_expr: ast.expr) -> Value:
+        saved = self._snapshot()
+        for comp in expr.generators:
+            iter_value = self._eval(comp.iter)
+            self._bind_loop_target(comp.target, comp.iter, iter_value)
+            for condition in comp.ifs:
+                self._eval(condition)
+        if isinstance(expr, ast.DictComp):
+            self._eval(expr.key)
+        value = element_of(self._eval(result_expr))
+        self.env = saved
+        # A comprehension over tagged elements yields a container of them.
+        return replace(value, ref=None)
+
+    def _eval_binop(self, expr: ast.BinOp) -> Value:
+        left = self._eval(expr.left)
+        right = self._eval(expr.right)
+        if nptypes.is_upcast(left.dtype, right.dtype):
+            self.result.upcasts.append(
+                UpcastEvent(node=expr, left=left, right=right, repr=_unparse(expr))
+            )
+        dtype = nptypes.promote_dtype(left.dtype, right.dtype)
+        trace = (left.trace + right.trace)[-_MAX_TRACE:]
+        return Value(dtype=dtype, writability=nptypes.W_WRITABLE, trace=trace)
+
+    # -- calls ---------------------------------------------------------
+    def _eval_call(self, call: ast.Call) -> Value:
+        base = BOTTOM
+        method: Optional[str] = None
+        if isinstance(call.func, ast.Attribute):
+            # Evaluate the receiver once (avoids duplicate events for
+            # calls nested in the receiver expression).
+            method = call.func.attr
+            base = self._eval(call.func.value)
+            key = self._expr_key(call.func)
+            if key is not None and key in self.env:
+                func_value = self.env[key]
+            elif base.ref is not None:
+                canonical = self.index.resolve_qualname(f"{base.ref}.{method}")
+                func_value = Value(ref=canonical.qualname)
+            else:
+                func_value = replace(base, ref=None)
+        else:
+            func_value = self._eval(call.func)
+        args = [self._eval(arg) for arg in call.args]
+        keywords: Dict[str, Value] = {}
+        keyword_nodes: Dict[str, ast.AST] = {}
+        for keyword in call.keywords:
+            value = self._eval(keyword.value)
+            if keyword.arg is not None:
+                keywords[keyword.arg] = value
+                keyword_nodes[keyword.arg] = keyword.value
+        qualname = func_value.ref
+        event = CallEvent(
+            node=call,
+            qualname=qualname,
+            method=method,
+            base=base,
+            args=args,
+            arg_nodes=list(call.args),
+            keywords=keywords,
+            keyword_nodes=keyword_nodes,
+            branch_tags=frozenset().union(
+                *(tags for _, tags in self._branch_stack)
+            ) if self._branch_stack else frozenset(),
+            branch_reprs=tuple(text for text, _ in self._branch_stack),
+            loops=tuple(self._loop_stack),
+        )
+        self.result.calls.append(event)
+        event.result = self._call_result(call, event, func_value)
+        return event.result
+
+    def _site(self, call: ast.Call, description: str) -> str:
+        ctx = self.module.ctx
+        return f"{description} at {ctx.display_path}:{getattr(call, 'lineno', 0)}"
+
+    def _call_result(self, call: ast.Call, event: CallEvent, func_value: Value) -> Value:
+        suffix = event.suffix
+        qualname = event.qualname or ""
+        args = event.args
+        keywords = event.keywords
+
+        # -- randomness sources ----------------------------------------
+        if suffix in ("ensure_rng", "derive_rng", "default_rng"):
+            return BOTTOM.tagged("rng", self._site(call, f"{suffix}(...)"))
+        if suffix == "spawn_rngs":
+            return BOTTOM.tagged("rng-list", self._site(call, "spawn_rngs(...)"))
+
+        # -- shared-memory / pool constructors -------------------------
+        if suffix == "ShmArena":
+            return BOTTOM.tagged("arena", self._site(call, "ShmArena()"))
+        if suffix == "WorkerPool":
+            return BOTTOM.tagged("worker-pool", self._site(call, "WorkerPool(...)"))
+        if suffix in ("ProcessPoolExecutor", "ThreadPoolExecutor"):
+            return BOTTOM.tagged("executor", self._site(call, f"{suffix}(...)"))
+        if qualname == "open":
+            return BOTTOM.tagged("file-handle", self._site(call, "open(...)"))
+        if suffix == "attached":
+            return BOTTOM.tagged("array-data", self._site(call, "attached(...)"))
+        if event.method in ("view", "empty", "share") and event.base.has("arena"):
+            return BOTTOM.tagged("array-data", self._site(call, f"arena.{event.method}(...)"))
+
+        # -- read-only mmap sources ------------------------------------
+        if suffix == "memmap":
+            mode = keywords.get("mode")
+            mode_node = event.keyword_nodes.get("mode")
+            if mode_node is None and len(event.arg_nodes) >= 3:
+                mode_node = event.arg_nodes[2]
+            if (
+                isinstance(mode_node, ast.Constant)
+                and isinstance(mode_node.value, str)
+                and mode_node.value in ("r", "c")
+            ):
+                value = BOTTOM.tagged(
+                    "mmap", self._site(call, f'np.memmap(mode="{mode_node.value}")')
+                )
+                return replace(value, writability=nptypes.W_READONLY)
+            del mode
+            return replace(BOTTOM, writability=nptypes.W_WRITABLE)
+        if suffix in ("load", "load_pipeline", "read_index"):
+            mmap_node = event.keyword_nodes.get("mmap")
+            if isinstance(mmap_node, ast.Constant) and mmap_node.value is True:
+                value = BOTTOM.tagged(
+                    "mmap", self._site(call, f"{suffix}(mmap=True)")
+                )
+                return replace(value, writability=nptypes.W_READONLY)
+            return BOTTOM
+
+        # -- copies and casts ------------------------------------------
+        if event.method == "copy":
+            base = event.base
+            return replace(
+                base,
+                tags=base.tags - _COPY_STRIPPED,
+                writability=nptypes.W_WRITABLE,
+                trace=(base.trace + (self._site(call, ".copy()"),))[-_MAX_TRACE:],
+                ref=None,
+            )
+        if event.method == "astype":
+            base = event.base
+            dtype_node = event.keyword_nodes.get("dtype")
+            if dtype_node is None and event.arg_nodes:
+                dtype_node = event.arg_nodes[0]
+            return replace(
+                base,
+                tags=base.tags - _COPY_STRIPPED,
+                dtype=nptypes.dtype_from_ast(dtype_node),
+                writability=nptypes.W_WRITABLE,
+                trace=(base.trace + (self._site(call, ".astype(...)"),))[-_MAX_TRACE:],
+                ref=None,
+            )
+        if qualname.startswith("numpy.") and suffix == "array":
+            base = args[0] if args else BOTTOM
+            return replace(
+                base,
+                tags=base.tags - _COPY_STRIPPED,
+                writability=nptypes.W_WRITABLE,
+                ref=None,
+            )
+        if qualname.startswith("numpy.") and suffix in ("asarray", "ascontiguousarray"):
+            # May or may not copy: provenance is conservatively kept.
+            base = args[0] if args else BOTTOM
+            dtype_node = event.keyword_nodes.get("dtype")
+            if dtype_node is not None:
+                base = replace(base, dtype=nptypes.dtype_from_ast(dtype_node))
+            return replace(base, ref=None)
+
+        # -- array constructors ----------------------------------------
+        if qualname.startswith("numpy.") and suffix in (
+            "zeros", "empty", "ones", "full",
+            "zeros_like", "empty_like", "ones_like", "full_like",
+        ):
+            dtype_node = event.keyword_nodes.get("dtype")
+            if dtype_node is None:
+                position = {"full": 2}.get(suffix, 1)
+                if len(event.arg_nodes) > position:
+                    dtype_node = event.arg_nodes[position]
+            if dtype_node is not None:
+                dtype = nptypes.dtype_from_ast(dtype_node)
+                return Value(dtype=dtype, writability=nptypes.W_WRITABLE)
+            if suffix.endswith("_like") and args:
+                return Value(dtype=args[0].dtype, writability=nptypes.W_WRITABLE)
+            # numpy's default dtype: float64, and the dtype-discipline rule
+            # flags the call itself in float32-annotated modules.
+            value = Value(dtype=nptypes.DT_FLOAT64, writability=nptypes.W_WRITABLE)
+            return value.tagged("default-dtype", self._site(call, f"np.{suffix}() without dtype"))
+        if suffix in ("float64", "float32") and (
+            qualname.startswith("numpy.") or qualname in ("float64", "float32")
+        ):
+            dtype = nptypes.DT_FLOAT64 if suffix == "float64" else nptypes.DT_FLOAT32
+            return Value(dtype=dtype, writability=nptypes.W_WRITABLE)
+        if qualname.startswith("numpy.") and suffix in (
+            "concatenate", "vstack", "hstack", "stack",
+        ):
+            base = args[0] if args else BOTTOM
+            return replace(
+                base, tags=base.tags - _COPY_STRIPPED, writability=nptypes.W_WRITABLE, ref=None
+            )
+
+        # -- in-scan helper functions: propagate return provenance -----
+        if event.qualname:
+            symbol = self.index.resolve_qualname(event.qualname)
+            if symbol.module is not None and isinstance(
+                symbol.node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                summary = self.analyses.summary(symbol.qualname)
+                if summary.tags:
+                    site = self._site(call, f"via {suffix}(...)")
+                    return replace(summary, trace=(summary.trace + (site,))[-_MAX_TRACE:])
+        return BOTTOM

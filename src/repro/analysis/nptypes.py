@@ -1,0 +1,135 @@
+"""A small abstract domain for numpy values: dtype × writability.
+
+The flow checkers reason about two orthogonal properties of an array-ish
+value:
+
+* its **dtype**, abstracted to the three-way split that matters for the
+  float32 model-matrix contract — ``float32``, ``float64``, anything else
+  (``OTHER``) — plus the lattice extremes ``BOTTOM`` (no information yet)
+  and ``UNKNOWN`` (could be anything);
+* its **writability** — ``WRITABLE``, ``READONLY`` (a ``mode="r"``
+  memmap, a loaded serving index), or ``UNKNOWN``.
+
+Both form flat lattices: ``BOTTOM`` joins to the other element, two
+different concrete elements join to ``UNKNOWN``.  The transfer helpers
+translate AST dtype expressions (``np.float32``, ``"float64"``,
+``np.dtype("float32")``) into lattice elements and model numpy's binary
+promotion (``float32 ⊕ float64 → float64`` — the silent upcast
+`dtype-discipline` exists to catch).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+# -- dtype lattice -----------------------------------------------------
+DT_BOTTOM = "bottom"  #: no information (identity of join)
+DT_FLOAT32 = "float32"
+DT_FLOAT64 = "float64"
+DT_OTHER = "other"  #: a known dtype that is neither float32 nor float64
+DT_UNKNOWN = "unknown"  #: conflicting or dynamic information (top)
+
+_DTYPES = (DT_BOTTOM, DT_FLOAT32, DT_FLOAT64, DT_OTHER, DT_UNKNOWN)
+
+# -- writability lattice ----------------------------------------------
+W_BOTTOM = "bottom"
+W_WRITABLE = "writable"
+W_READONLY = "readonly"
+W_UNKNOWN = "unknown"
+
+_WRITABILITIES = (W_BOTTOM, W_WRITABLE, W_READONLY, W_UNKNOWN)
+
+
+def _flat_join(a: str, b: str, members, bottom: str, top: str) -> str:
+    if a not in members or b not in members:
+        raise ValueError(f"not lattice elements: {a!r}, {b!r}")
+    if a == b:
+        return a
+    if a == bottom:
+        return b
+    if b == bottom:
+        return a
+    return top
+
+
+def join_dtype(a: str, b: str) -> str:
+    """Least upper bound of two dtype elements (flat lattice)."""
+    return _flat_join(a, b, _DTYPES, DT_BOTTOM, DT_UNKNOWN)
+
+
+def join_writability(a: str, b: str) -> str:
+    """Least upper bound of two writability elements (flat lattice)."""
+    return _flat_join(a, b, _WRITABILITIES, W_BOTTOM, W_UNKNOWN)
+
+
+def promote_dtype(a: str, b: str) -> str:
+    """Result dtype of a binary numpy operation between ``a`` and ``b``.
+
+    Models the one promotion the float32 contract cares about: mixing
+    ``float32`` with ``float64`` yields ``float64`` (the silent upcast),
+    while ``BOTTOM`` behaves as "no operand" and any ``UNKNOWN``/``OTHER``
+    involvement degrades to ``UNKNOWN``.
+    """
+    if a == DT_BOTTOM:
+        return b
+    if b == DT_BOTTOM:
+        return a
+    if a == b:
+        return a
+    if {a, b} == {DT_FLOAT32, DT_FLOAT64}:
+        return DT_FLOAT64
+    return DT_UNKNOWN
+
+
+def is_upcast(a: str, b: str) -> bool:
+    """True when combining ``a`` and ``b`` silently widens float32 to float64."""
+    return {a, b} == {DT_FLOAT32, DT_FLOAT64}
+
+
+# -- AST → lattice -----------------------------------------------------
+_F32_NAMES = {"float32", "single"}
+_F64_NAMES = {"float64", "double", "float_", "float"}
+
+
+def dtype_from_string(text: str) -> str:
+    """Lattice element for a dtype spelled as a string (``"float32"``...)."""
+    name = text.strip().lower()
+    if name in _F32_NAMES or name in ("<f4", "f4"):
+        return DT_FLOAT32
+    if name in _F64_NAMES or name in ("<f8", "f8"):
+        return DT_FLOAT64
+    return DT_OTHER
+
+
+def dtype_from_ast(node: Optional[ast.AST]) -> str:
+    """Lattice element for a dtype *expression* in source.
+
+    Recognises string constants, ``np.float32`` / ``numpy.float64``
+    attribute reads, bare ``float`` (numpy maps it to float64) and
+    ``np.dtype("...")`` wrappers.  Anything dynamic is ``UNKNOWN``.
+    """
+    if node is None:
+        return DT_UNKNOWN
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return dtype_from_string(node.value)
+    if isinstance(node, ast.Name):
+        if node.id == "float":
+            return DT_FLOAT64
+        if node.id in _F32_NAMES:
+            return DT_FLOAT32
+        if node.id in _F64_NAMES:
+            return DT_FLOAT64
+        return DT_UNKNOWN
+    if isinstance(node, ast.Attribute):
+        if node.attr in _F32_NAMES:
+            return DT_FLOAT32
+        if node.attr in _F64_NAMES:
+            return DT_FLOAT64
+        return DT_UNKNOWN
+    if isinstance(node, ast.Call):
+        # np.dtype("float32") and friends: look through the wrapper.
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "dtype" and node.args:
+            return dtype_from_ast(node.args[0])
+    return DT_UNKNOWN

@@ -1,0 +1,231 @@
+"""Project-wide symbol resolution for flow-aware rules.
+
+:class:`ProjectIndex` turns the flat list of parsed modules into a
+cross-module symbol table:
+
+* every file is assigned a **dotted module name** by walking up the
+  filesystem while ``__init__.py`` markers continue (so the same code
+  names ``repro.parallel.shm`` under ``src/`` and ``miniproj.shmlib.core``
+  in a fixture tree);
+* each module's **top-level bindings** are recorded — ``def``/``class``
+  statements, assignments, and import aliases (``import numpy as np``,
+  ``from repro.parallel import WorkerPool as WP``);
+* resolution follows **re-exports through package ``__init__`` modules**,
+  both eager (``from repro.parallel.shm import WorkerPool``) and the
+  repo's lazy PEP 562 convention (an ``_EXPORTS = {name: module}`` dict
+  resolved in ``__getattr__``), so ``repro.parallel.WorkerPool`` and
+  ``repro.parallel.shm.WorkerPool`` canonicalise to the same symbol.
+
+Lookups return a :class:`Symbol` carrying the *canonical* qualified name
+plus — when the definition lives inside the scan — the defining module
+and AST node.  Names that leave the scanned tree (``numpy.memmap``) still
+resolve to their canonical dotted string with ``node=None``, which is
+what lets checkers match stdlib/numpy callees by qualname suffix.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, NamedTuple, Optional, Sequence, Set
+
+from repro.analysis.core import ModuleContext
+
+
+class Symbol(NamedTuple):
+    """One resolved name: canonical qualname + definition when in-scan."""
+
+    qualname: str
+    module: Optional["ModuleSymbols"]
+    node: Optional[ast.AST]
+
+    @property
+    def name(self) -> str:
+        """The unqualified final component (``WorkerPool``)."""
+        return self.qualname.rsplit(".", 1)[-1]
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of ``path``, walking up ``__init__.py`` markers."""
+    path = Path(path)
+    parts: List[str] = [] if path.stem == "__init__" else [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").is_file():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    if not parts:  # a stray __init__.py with no package parent
+        parts = [path.parent.name]
+    return ".".join(parts)
+
+
+class ModuleSymbols:
+    """Top-level symbol table of one parsed module."""
+
+    def __init__(self, ctx: ModuleContext, name: str):
+        self.ctx = ctx
+        self.name = name
+        self.is_package = ctx.path.name == "__init__.py"
+        #: top-level definition name -> AST node (def/class/assign target).
+        self.defs: Dict[str, ast.AST] = {}
+        #: bound name -> dotted target ("np" -> "numpy",
+        #: "WP" -> "repro.parallel.WorkerPool").
+        self.imports: Dict[str, str] = {}
+        #: lazy re-exports (the ``_EXPORTS`` convention): name -> module.
+        self.lazy_exports: Dict[str, str] = {}
+        #: dotted module names this module imports (the import graph edge set).
+        self.imported_modules: Set[str] = set()
+        self._scan(ctx.tree.body)
+
+    # -- construction --------------------------------------------------
+    @property
+    def package(self) -> str:
+        """The package this module's relative imports resolve against."""
+        if self.is_package:
+            return self.name
+        return self.name.rsplit(".", 1)[0] if "." in self.name else ""
+
+    def _scan(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    self.imported_modules.add(alias.name)
+                    if alias.asname:
+                        self.imports[alias.asname] = alias.name
+                    else:
+                        # ``import a.b.c`` binds only ``a``.
+                        root = alias.name.split(".", 1)[0]
+                        self.imports[root] = root
+            elif isinstance(stmt, ast.ImportFrom):
+                base = self._import_base(stmt)
+                if base is None:
+                    continue
+                self.imported_modules.add(base)
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self.imports[bound] = f"{base}.{alias.name}" if base else alias.name
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                self.defs[stmt.name] = stmt
+            elif isinstance(stmt, ast.Assign):
+                self._scan_assign(stmt)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                self.defs[stmt.target.id] = stmt
+            elif isinstance(stmt, (ast.If, ast.Try)):
+                # TYPE_CHECKING blocks and guarded imports still bind names.
+                for inner in ast.iter_child_nodes(stmt):
+                    if isinstance(inner, ast.stmt):
+                        self._scan([inner])
+
+    def _scan_assign(self, stmt: ast.Assign) -> None:
+        for target in stmt.targets:
+            if not isinstance(target, ast.Name):
+                continue
+            self.defs[target.id] = stmt
+            if target.id == "_EXPORTS" and isinstance(stmt.value, ast.Dict):
+                for key, value in zip(stmt.value.keys, stmt.value.values):
+                    if (
+                        isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                        and isinstance(value, ast.Constant)
+                        and isinstance(value.value, str)
+                    ):
+                        self.lazy_exports[key.value] = value.value
+
+    def _import_base(self, stmt: ast.ImportFrom) -> Optional[str]:
+        """The absolute module a ``from ... import`` statement targets."""
+        if stmt.level == 0:
+            return stmt.module or ""
+        package_parts = self.package.split(".") if self.package else []
+        drop = stmt.level - 1
+        if drop > len(package_parts):
+            return None  # relative import escaping the scanned tree
+        base_parts = package_parts[: len(package_parts) - drop]
+        if stmt.module:
+            base_parts.append(stmt.module)
+        return ".".join(base_parts) if base_parts else None
+
+
+class ProjectIndex:
+    """The import graph + symbol table of one scan."""
+
+    def __init__(self, modules: Sequence[ModuleContext]):
+        self.by_ctx: Dict[int, ModuleSymbols] = {}
+        self.by_name: Dict[str, ModuleSymbols] = {}
+        for ctx in modules:
+            symbols = ModuleSymbols(ctx, module_name_for(ctx.path))
+            self.by_ctx[id(ctx)] = symbols
+            # First definition wins on (unlikely) dotted-name collisions so
+            # resolution stays deterministic in scan order.
+            self.by_name.setdefault(symbols.name, symbols)
+
+    def symbols_for(self, ctx: ModuleContext) -> ModuleSymbols:
+        return self.by_ctx[id(ctx)]
+
+    # -- resolution ----------------------------------------------------
+    def resolve_name(self, module: ModuleSymbols, name: str) -> Optional[Symbol]:
+        """Resolve a bare name used in ``module`` to its canonical symbol."""
+        return self._resolve_in(module, name, seen=set())
+
+    def resolve_qualname(self, dotted: str) -> Symbol:
+        """Canonicalise a dotted name, following in-scan re-exports."""
+        return self._resolve_qualname(dotted, seen=set())
+
+    def resolve_expr(self, module: ModuleSymbols, expr: ast.AST) -> Optional[Symbol]:
+        """Resolve a ``Name`` / ``a.b.c`` attribute chain used in ``module``."""
+        parts: List[str] = []
+        node = expr
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.reverse()
+        head = self._resolve_in(module, node.id, seen=set())
+        if head is None:
+            return None
+        if not parts:
+            return head
+        return self._resolve_qualname(
+            ".".join([head.qualname] + parts), seen=set()
+        )
+
+    # -- internals -----------------------------------------------------
+    def _resolve_in(
+        self, module: ModuleSymbols, name: str, seen: Set[str]
+    ) -> Optional[Symbol]:
+        key = f"{module.name}:{name}"
+        if key in seen:
+            return None
+        seen.add(key)
+        if name in module.imports:
+            return self._resolve_qualname(module.imports[name], seen)
+        if name in module.defs:
+            return Symbol(f"{module.name}.{name}", module, module.defs[name])
+        if name in module.lazy_exports:
+            return self._resolve_qualname(f"{module.lazy_exports[name]}.{name}", seen)
+        return None
+
+    def _resolve_qualname(self, dotted: str, seen: Set[str]) -> Symbol:
+        if dotted in seen:
+            return Symbol(dotted, None, None)
+        seen.add(dotted)
+        if dotted in self.by_name:
+            module = self.by_name[dotted]
+            return Symbol(dotted, module, module.ctx.tree)
+        if "." not in dotted:
+            return Symbol(dotted, None, None)
+        prefix, leaf = dotted.rsplit(".", 1)
+        owner = self.by_name.get(prefix)
+        if owner is None:
+            # Walk the prefix through resolution too (handles names reached
+            # *via* a re-exported module), then give up to an out-of-scan
+            # canonical string.
+            head = self._resolve_qualname(prefix, seen)
+            owner = head.module
+            if owner is None:
+                return Symbol(dotted, None, None)
+        resolved = self._resolve_in(owner, leaf, seen)
+        if resolved is not None:
+            return resolved
+        return Symbol(f"{owner.name}.{leaf}", None, None)

@@ -14,7 +14,8 @@ from typing import Dict, List, Sequence
 from repro.analysis.core import Finding
 
 #: Bump on any breaking change to the JSON layout below.
-REPORT_SCHEMA_VERSION = 1
+#: v2: findings gained a ``provenance`` array (dataflow trace strings).
+REPORT_SCHEMA_VERSION = 2
 
 
 def sort_findings(findings: Sequence[Finding]) -> List[Finding]:
@@ -54,6 +55,7 @@ def report_dict(findings: Sequence[Finding], files_scanned: int) -> Dict:
                 "col": finding.col,
                 "rule": finding.rule,
                 "message": finding.message,
+                "provenance": list(finding.provenance),
             }
             for finding in ordered
         ],
@@ -62,3 +64,43 @@ def report_dict(findings: Sequence[Finding], files_scanned: int) -> Dict:
 
 def render_json(findings: Sequence[Finding], files_scanned: int) -> str:
     return json.dumps(report_dict(findings, files_scanned), indent=2, sort_keys=False)
+
+
+def _escape_gh_data(text: str) -> str:
+    """Escape a workflow-command *message* (%, CR, LF)."""
+    return text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def _escape_gh_property(text: str) -> str:
+    """Escape a workflow-command *property* value (adds , and :)."""
+    return _escape_gh_data(text).replace(",", "%2C").replace(":", "%3A")
+
+
+def render_github(findings: Sequence[Finding], files_scanned: int) -> str:
+    """GitHub Actions workflow commands: one ``::error`` line per finding.
+
+    Emitted by ``--format github`` in the CI lint job so findings annotate
+    the PR diff at the offending line.  A trailing summary line (not a
+    workflow command) mirrors the text renderer.
+    """
+    lines = []
+    for finding in sort_findings(findings):
+        message = finding.message
+        if finding.provenance:
+            message += " [" + " <- ".join(finding.provenance) + "]"
+        lines.append(
+            "::error file={file},line={line},col={col},title={title}::{message}".format(
+                file=_escape_gh_property(finding.path),
+                line=finding.line,
+                col=finding.col,
+                title=_escape_gh_property(f"repro-lint {finding.rule}"),
+                message=_escape_gh_data(message),
+            )
+        )
+    noun = "file" if files_scanned == 1 else "files"
+    count = len(lines)
+    if count:
+        lines.append(f"Found {count} violation{'s' if count != 1 else ''} in {files_scanned} {noun}.")
+    else:
+        lines.append(f"All clear: {files_scanned} {noun}, 0 violations.")
+    return "\n".join(lines)

@@ -27,6 +27,9 @@ class AnalysisResult:
     files_scanned: int = 0
     #: Paths that failed to read or parse (already reported as findings).
     broken_files: List[str] = field(default_factory=list)
+    #: Number of ``ast.parse`` calls issued — exactly one per readable file;
+    #: every checker receives the same cached ``ModuleContext`` objects.
+    parse_count: int = 0
 
     @property
     def ok(self) -> bool:
@@ -93,11 +96,16 @@ def run_analysis(
     project_checkers = [c for c in checkers if c.scope == "project"]
 
     result = AnalysisResult()
+
+    # Phase 1: read + parse + tokenise every file exactly once.  All of
+    # phase 2 — module checkers, the symbol table, the dataflow engine,
+    # project checkers — works off these cached ModuleContext objects.
     modules: List[ModuleContext] = []
     for path in collect_files([Path(p) for p in paths]):
         result.files_scanned += 1
         try:
             ctx = load_module(path, root=root_path)
+            result.parse_count += 1
         except (SyntaxError, UnicodeDecodeError, OSError) as exc:
             display = _display_path(path, root_path)
             line = getattr(exc, "lineno", None) or 1
@@ -113,18 +121,23 @@ def run_analysis(
             result.broken_files.append(display)
             continue
         modules.append(ctx)
+
+    # Phase 2: one ProjectContext for the whole run; its symbol table and
+    # flow cache are built lazily and shared by every checker.
+    if tests_dir is not None:
+        tests_path: Optional[Path] = Path(tests_dir)
+    else:
+        default = root_path / "tests"
+        tests_path = default if default.is_dir() else None
+    project = ProjectContext(modules, tests_dir=tests_path)
+
+    for ctx in modules:
         for checker in module_checkers:
-            result.findings.extend(checker.check_module(ctx))
+            result.findings.extend(checker.check_module(ctx, project))
+    for checker in project_checkers:
+        result.findings.extend(checker.check_project(project))
 
-    if project_checkers:
-        if tests_dir is not None:
-            tests_path: Optional[Path] = Path(tests_dir)
-        else:
-            default = root_path / "tests"
-            tests_path = default if default.is_dir() else None
-        project = ProjectContext(modules, tests_dir=tests_path)
-        for checker in project_checkers:
-            result.findings.extend(checker.check_project(project))
-
-    result.findings.sort()
+    # First occurrence wins on duplicates (identical location+rule+message
+    # reached through two dataflow paths), then deterministic order.
+    result.findings = sorted(dict.fromkeys(result.findings))
     return result

@@ -1,0 +1,6 @@
+"""Fixture mini-project exercising cross-module flow resolution.
+
+Never imported at runtime — parsed by the repro-lint test suite to prove
+the project symbol table and dataflow engine see through package
+re-exports, import aliases, and helper-function provenance.
+"""

@@ -1,0 +1,23 @@
+"""Bad: arenas that leak their shared-memory segment on some path."""
+
+from miniproj.helpers import make_arena
+from miniproj.shmlib.core import ShmArena as Arena
+
+
+def happy_path_only(shape):
+    arena = Arena()
+    view = arena.view("walks", shape)
+    view[:] = 0
+    arena.close()
+    arena.unlink()
+    return shape
+
+
+def orphan(shape):
+    Arena().view("walks", shape)
+    return shape
+
+
+def factory_leak(shape):
+    arena = make_arena()
+    return arena.view("walks", shape)

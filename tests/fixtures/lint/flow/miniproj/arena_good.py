@@ -1,0 +1,33 @@
+"""Good: arenas closed on all paths, or ownership handed to the caller."""
+
+from miniproj.helpers import make_arena
+from miniproj.shmlib.core import ShmArena as Arena
+
+
+def with_managed(shape):
+    with Arena() as arena:
+        view = arena.view("walks", shape)
+        view[:] = 0
+    return shape
+
+
+def try_finally(shape):
+    arena = make_arena()
+    try:
+        return arena.view("walks", shape)
+    finally:
+        arena.close()
+        arena.unlink()
+
+
+def handed_to_caller():
+    return Arena()
+
+
+class Holder:
+    def __init__(self):
+        self.arena = Arena()
+
+    def close(self):
+        self.arena.close()
+        self.arena.unlink()

@@ -1,0 +1,9 @@
+"""Suppressed: a deliberately long-lived arena with justification."""
+
+from miniproj.shmlib.core import ShmArena
+
+
+def daemon_arena(shape):
+    # Lives for the process lifetime; reaped by the supervisor on exit.
+    arena = ShmArena()  # repro-lint: disable=arena-lifecycle
+    return arena.view("walks", shape)

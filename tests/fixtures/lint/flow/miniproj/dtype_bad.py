@@ -1,0 +1,15 @@
+# repro-lint: module-dtype=float32
+"""Bad: a float32 module allocating default-dtype buffers and upcasting."""
+
+import numpy as np
+
+
+def allocate(n):
+    acc = np.zeros(n)
+    return acc
+
+
+def upcast(n):
+    grad = np.zeros(n, dtype=np.float32)
+    scale = np.float64(0.5)
+    return grad * scale

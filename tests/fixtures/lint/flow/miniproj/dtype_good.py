@@ -1,0 +1,15 @@
+# repro-lint: module-dtype=float32
+"""Good: explicit float32 allocations and same-width arithmetic."""
+
+import numpy as np
+
+
+def allocate(n):
+    acc = np.zeros(n, dtype=np.float32)
+    buf = np.empty((n, 4), dtype="float32")
+    return acc, buf
+
+
+def scale(grad: np.ndarray):
+    factor = np.float32(0.5)
+    return grad * factor

@@ -1,0 +1,10 @@
+# repro-lint: module-dtype=float32
+"""Suppressed: a deliberate float64 accumulator with justification."""
+
+import numpy as np
+
+
+def accumulate(n):
+    # Loss accumulation wants the wider type; cast back at the boundary.
+    total = np.zeros(n)  # repro-lint: disable=dtype-discipline
+    return total

@@ -1,0 +1,30 @@
+"""Bad: non-picklable or resource-bound callables submitted to workers."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from miniproj.shmlib import WorkerPool as WP
+
+
+class Stage:
+    def __init__(self, path):
+        self.fh = open(path, "rb")
+
+    def work(self, task):
+        return self.fh.read(task)
+
+    def run_all(self, tasks):
+        with WP(2) as pool:
+            return pool.run(self.work, tasks)
+
+
+def submit_lambda(tasks):
+    with WP(2) as pool:
+        return pool.run(lambda t: t + 1, tasks)
+
+
+def submit_nested(tasks):
+    def inner(task):
+        return task * 2
+
+    with ProcessPoolExecutor(2) as ex:
+        return list(ex.map(inner, tasks))

@@ -1,0 +1,18 @@
+"""Good: module-level task functions, including one from another module."""
+
+from miniproj.helpers import shard_task
+from miniproj.shmlib import WorkerPool as WP
+
+
+def local_task(task):
+    return task + 1
+
+
+def run_local(tasks):
+    with WP(2) as pool:
+        return pool.run(local_task, tasks)
+
+
+def run_imported(tasks):
+    with WP(2) as pool:
+        return pool.run(shard_task, tasks)

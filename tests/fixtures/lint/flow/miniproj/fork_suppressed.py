@@ -1,0 +1,9 @@
+"""Suppressed: a lambda submission with a written justification."""
+
+from miniproj.shmlib import WorkerPool
+
+
+def run_inline(tasks):
+    # Thread-backed pool in this fixture; the closure never crosses a fork.
+    with WorkerPool(2) as pool:
+        return pool.run(lambda t: t + 1, tasks)  # repro-lint: disable=fork-safety

@@ -1,0 +1,17 @@
+"""Helper functions whose return provenance must flow to their callers."""
+
+from miniproj.serving import read_index
+from miniproj.shmlib.core import ShmArena
+
+
+def open_index(path):
+    header, arrays = read_index(path, mmap=True)
+    return arrays
+
+
+def make_arena():
+    return ShmArena()
+
+
+def shard_task(task):
+    return task

@@ -1,0 +1,33 @@
+"""Bad: in-place writes through memory-mapped views, cross-module."""
+
+import numpy as np
+
+from miniproj.helpers import open_index
+from miniproj.serving import load_pipeline
+from miniproj.serving.core import read_index as ri
+
+
+def direct(path):
+    header, arrays = ri(path, mmap=True)
+    arrays["w2v"][0] = 1.0
+    return header
+
+
+def through_helper(path):
+    arrays = open_index(path)
+    vec = arrays["w2v"]
+    vec += 1.0
+    return vec
+
+
+def reexported(path):
+    arrays = load_pipeline(path, mmap=True)
+    arrays["w2v"].sort()
+    return arrays
+
+
+def raw_memmap(path):
+    view = np.memmap(path, dtype="float32", mode="r")
+    np.add.at(view, [0], 1.0)
+    np.multiply(view, 2.0, out=view)
+    return view

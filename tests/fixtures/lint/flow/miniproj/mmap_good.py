@@ -1,0 +1,34 @@
+"""Good: copies before mutating, or writable sources to begin with."""
+
+import numpy as np
+
+from miniproj.helpers import open_index
+from miniproj.serving.core import read_index as ri
+
+
+def copy_first(path):
+    arrays = open_index(path)
+    vec = arrays["w2v"].copy()
+    vec[0] = 1.0
+    vec += 1.0
+    vec.sort()
+    return vec
+
+
+def materialise(path):
+    header, arrays = ri(path, mmap=True)
+    owned = np.array(arrays["w2v"])
+    owned[0] = 1.0
+    return header, owned
+
+
+def not_mmapped(path):
+    header, arrays = ri(path)
+    arrays["w2v"][0] = 1.0
+    return header
+
+
+def writable_memmap(path):
+    view = np.memmap(path, dtype="float32", mode="r+")
+    view[0] = 1.0
+    return view

@@ -1,0 +1,11 @@
+"""Suppressed: a deliberate in-place write with written justification."""
+
+from miniproj.serving.core import read_index
+
+
+def deliberate(path):
+    # This fixture intentionally writes through the view to prove the
+    # inline marker silences the rule.
+    header, arrays = read_index(path, mmap=True)
+    arrays["w2v"][0] = 1.0  # repro-lint: disable=mmap-mutation
+    return header

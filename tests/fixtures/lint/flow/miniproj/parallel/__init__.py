@@ -1,0 +1,1 @@
+"""Stage-engine package: rng-flow applies to modules under parallel/."""

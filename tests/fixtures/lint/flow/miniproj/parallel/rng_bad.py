@@ -1,0 +1,22 @@
+"""Bad: one Generator shared across shard tasks; data-dependent draws."""
+
+import numpy as np
+
+from miniproj import rnglib
+from miniproj.shmlib import WorkerPool
+
+
+def shared_stream(seed, ranges):
+    rng = rnglib.ensure_rng(seed)
+    tasks = []
+    for lo, hi in ranges:
+        tasks.append((lo, hi, rng))
+    with WorkerPool(2) as pool:
+        return pool.run(tuple, tasks)
+
+
+def data_dependent(seed, walks: np.ndarray):
+    rng = rnglib.ensure_rng(seed)
+    if walks[0] > 0:
+        return rng.integers(10)
+    return 0

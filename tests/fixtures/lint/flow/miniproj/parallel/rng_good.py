@@ -1,0 +1,22 @@
+"""Good: one spawned stream per shard; draws gated only on config."""
+
+from miniproj.rnglib import ensure_rng, spawn_rngs
+from miniproj.shmlib import WorkerPool
+
+
+def helper_streams(seed, n):
+    return spawn_rngs(seed, n)
+
+
+def per_shard(seed, ranges):
+    rngs = helper_streams(seed, len(ranges))
+    tasks = [(lo, hi, shard_rng) for (lo, hi), shard_rng in zip(ranges, rngs)]
+    with WorkerPool(2) as pool:
+        return pool.run(tuple, tasks)
+
+
+def config_branch(seed):
+    rng = ensure_rng(seed)
+    if isinstance(seed, int):
+        return rng.integers(10)
+    return rng.integers(20)

@@ -1,0 +1,14 @@
+"""Suppressed: a shared stream submission with a written justification."""
+
+from miniproj.rnglib import ensure_rng
+from miniproj.shmlib import WorkerPool
+
+
+def shared_on_purpose(seed, ranges):
+    # Tasks in this fixture run serially inside one process.
+    rng = ensure_rng(seed)
+    tasks = []
+    for lo, hi in ranges:
+        tasks.append((lo, hi, rng))  # repro-lint: disable=rng-flow
+    with WorkerPool(2) as pool:
+        return pool.run(tuple, tasks)

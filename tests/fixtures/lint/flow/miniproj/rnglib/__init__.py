@@ -1,0 +1,14 @@
+"""Lazy re-exports via the repo's PEP 562 ``_EXPORTS`` convention."""
+
+_EXPORTS = {
+    "ensure_rng": "miniproj.rnglib.streams",
+    "spawn_rngs": "miniproj.rnglib.streams",
+}
+
+
+def __getattr__(name):
+    if name in _EXPORTS:
+        import importlib
+
+        return getattr(importlib.import_module(_EXPORTS[name]), name)
+    raise AttributeError(name)

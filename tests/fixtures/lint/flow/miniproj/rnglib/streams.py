@@ -1,0 +1,18 @@
+"""Fixture generator factory (stands in for repro.utils.rng)."""
+
+import numpy as np
+
+
+def ensure_rng(seed):
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)  # repro-lint: disable=rng-discipline
+
+
+def spawn_rngs(seed, n):
+    root = ensure_rng(seed)
+    seeds = root.integers(0, 2**31 - 1, size=n)
+    return [
+        np.random.default_rng(int(s))  # repro-lint: disable=rng-discipline
+        for s in seeds
+    ]

@@ -1,0 +1,5 @@
+"""Eager re-exports of the fixture index readers."""
+
+from miniproj.serving.core import load_pipeline, read_index
+
+__all__ = ["load_pipeline", "read_index"]

@@ -1,0 +1,5 @@
+"""Eager re-exports: resolving miniproj.shmlib.WorkerPool must land in core."""
+
+from miniproj.shmlib.core import ShmArena, WorkerPool, attached
+
+__all__ = ["ShmArena", "WorkerPool", "attached"]

@@ -1,0 +1,37 @@
+"""Fixture doubles of the shared-memory primitives (shape only, no shm)."""
+
+
+class ShmArena:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return None
+
+    def close(self):
+        pass
+
+    def unlink(self):
+        pass
+
+    def view(self, desc):
+        return desc
+
+
+class WorkerPool:
+    def __init__(self, num_workers=1):
+        self.num_workers = num_workers
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return None
+
+    def run(self, fn, tasks):
+        return [fn(task) for task in tasks]
+
+
+def attached(*descs):
+    return descs

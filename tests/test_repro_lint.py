@@ -30,9 +30,14 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint"
 
 EXPECTED_RULES = {
+    "arena-lifecycle",
     "atomic-write",
+    "dtype-discipline",
     "engine-registry",
+    "fork-safety",
+    "mmap-mutation",
     "rng-discipline",
+    "rng-flow",
     "shm-ownership",
     "timer-discipline",
     "version-bump",
@@ -268,7 +273,7 @@ class TestReporting:
     def test_json_schema_stable(self):
         result = lint(FIXTURES / "rng_bad.py")
         payload = json.loads(render_json(result.findings, result.files_scanned))
-        assert payload["schema_version"] == REPORT_SCHEMA_VERSION == 1
+        assert payload["schema_version"] == REPORT_SCHEMA_VERSION == 2
         assert payload["tool"] == "repro-lint"
         assert set(payload) == {
             "schema_version",
@@ -281,9 +286,17 @@ class TestReporting:
         assert payload["violations"] == len(payload["findings"])
         assert payload["counts_by_rule"]["rng-discipline"] == payload["violations"]
         for finding in payload["findings"]:
-            assert set(finding) == {"path", "line", "col", "rule", "message"}
+            assert set(finding) == {
+                "path",
+                "line",
+                "col",
+                "rule",
+                "message",
+                "provenance",
+            }
             assert isinstance(finding["line"], int) and finding["line"] >= 1
             assert isinstance(finding["col"], int) and finding["col"] >= 1
+            assert isinstance(finding["provenance"], list)
 
     def test_findings_sorted(self):
         result = lint(FIXTURES / "timer_bad.py", FIXTURES / "rng_bad.py")
@@ -341,7 +354,7 @@ class TestCli:
         proc = self._run("--json", str(FIXTURES / "shm_bad.py"))
         assert proc.returncode == 1
         payload = json.loads(proc.stdout)
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == 2
         assert payload["counts_by_rule"] == {"shm-ownership": 4}
 
     def test_list_rules(self):
